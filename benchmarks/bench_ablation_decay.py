@@ -1,0 +1,84 @@
+"""Ablation: exponential vs linear decay in the Weight Distance (Def. 9).
+
+The paper defines both decay families and uses exponential (lambda = 1/2)
+in its examples, without evaluating the choice.  The decay only matters
+when Overlap Distances tie (Algorithm 1, lines 8-14), so we measure (a)
+how often ties occur, and (b) whether the decay family moves recall.
+Expected: ties are common enough for the secondary metric to exist, but
+the recall difference between the two families is small — the tie-break
+matters more than its exact shape.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from bench_common import (
+    BASE_SIZE_GB,
+    K_DEFAULT,
+    build_climber,
+    emit,
+    workload,
+)
+from repro.core import GroupAssigner
+from repro.evaluation import evaluate_system
+from repro.pivots import decay_weights, permutation_prefixes
+from repro.series import paa_transform
+
+
+def _run() -> list[dict]:
+    rows = []
+    for name in ("RandomWalk", "DNA"):
+        dataset, queries, truth = workload(name)
+        for decay in ("exponential", "linear"):
+            index = build_climber(dataset, BASE_SIZE_GB, decay=decay)
+            ev = evaluate_system(decay, lambda q, k: index.knn(q, k),
+                                 queries, truth, K_DEFAULT)
+            # Tie statistics over the whole dataset against this index's
+            # centroids (how often the decay actually gets consulted).
+            paa = paa_transform(dataset.values, index.config.word_length)
+            ranked = permutation_prefixes(paa, index.pivots,
+                                          index.config.prefix_length)
+            assigner = GroupAssigner(
+                index.skeleton.centroids,
+                index.config.n_pivots,
+                index.config.prefix_length,
+                weights=decay_weights(index.config.prefix_length, decay),
+                rng=np.random.default_rng(0),
+            )
+            result = assigner.assign(ranked)
+            rows.append({
+                "dataset": name,
+                "decay": decay,
+                "recall": round(ev.recall, 3),
+                "od_tie_rate": round(result.od_ties_broken / dataset.count, 3),
+                "wd_tie_rate": round(result.wd_ties_broken / dataset.count, 4),
+            })
+    return rows
+
+
+@pytest.fixture(scope="module")
+def decay_rows():
+    rows = _run()
+    emit("ablation_decay",
+         "Ablation: exponential vs linear pivot-weight decay", rows)
+    return rows
+
+
+def test_ties_actually_occur(decay_rows):
+    """The WD tie-break must be exercised (otherwise Def. 9-11 are dead code)."""
+    assert any(r["od_tie_rate"] > 0.01 for r in decay_rows)
+
+
+def test_decay_family_is_secondary(decay_rows):
+    """Recall must not swing wildly with the decay family."""
+    by = {(r["dataset"], r["decay"]): r["recall"] for r in decay_rows}
+    for name in ("RandomWalk", "DNA"):
+        assert abs(by[(name, "exponential")] - by[(name, "linear")]) < 0.08
+
+
+def test_decay_benchmark(benchmark, decay_rows):
+    dataset, queries, _ = workload("RandomWalk")
+    index = build_climber(dataset, BASE_SIZE_GB, decay="linear")
+    benchmark(lambda: index.knn(queries.values[0], K_DEFAULT))

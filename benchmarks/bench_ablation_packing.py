@@ -1,0 +1,102 @@
+"""Ablation: FFD vs First Fit vs one-leaf-per-partition packing (Def. 13).
+
+The paper adopts First Fit Decreasing for the NP-hard node-packing problem
+and argues unpacked leaves would create "many tiny partitions — prohibitive
+for distributed systems".  This ablation quantifies that: we pack the same
+group tries with the three policies and compare partition counts,
+occupancy, and query cost (partitions touched per query).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from bench_common import (
+    BASE_SIZE_GB,
+    CAPACITY,
+    K_DEFAULT,
+    emit,
+    workload,
+)
+from repro.core import first_fit, first_fit_decreasing, one_per_bin
+from repro.evaluation import evaluate_system
+
+PACKERS = {
+    "FFD": first_fit_decreasing,
+    "FirstFit": first_fit,
+    "OnePerLeaf": one_per_bin,
+}
+
+
+def _build_with_packer(dataset, size_gb, packer):
+    """Rebuild CLIMBER with a different leaf packer (monkeypatched)."""
+    import repro.core.builder as builder_mod
+
+    from bench_common import climber_config
+    from repro.cluster import CostModel
+    from repro.core import ClimberIndex
+    from repro.core.builder import build_index_artifacts
+
+    original = builder_mod.first_fit_decreasing
+    builder_mod.first_fit_decreasing = packer
+    try:
+        config = climber_config(dataset, size_gb)
+        artifacts = build_index_artifacts(dataset, config)
+        return ClimberIndex(artifacts, config, CostModel())
+    finally:
+        builder_mod.first_fit_decreasing = original
+
+
+def _run() -> list[dict]:
+    dataset, queries, truth = workload("RandomWalk")
+    rows = []
+    for label, packer in PACKERS.items():
+        index = _build_with_packer(dataset, BASE_SIZE_GB, packer)
+        ev = evaluate_system(label, lambda q, k: index.knn(q, k),
+                             queries, truth, K_DEFAULT)
+        sizes = [
+            index.dfs.read_partition(p).record_count
+            for p in index.dfs.list_partitions()
+        ]
+        rows.append({
+            "packing": label,
+            "partitions": index.n_partitions,
+            "mean_occupancy": round(float(np.mean(sizes)) / CAPACITY, 2),
+            "recall": round(ev.recall, 3),
+            "parts_per_query": round(ev.partitions, 2),
+        })
+    return rows
+
+
+@pytest.fixture(scope="module")
+def packing_rows():
+    rows = _run()
+    emit("ablation_packing",
+         "Ablation: leaf packing policies (Def. 13)", rows)
+    return rows
+
+
+def test_ffd_fewest_partitions(packing_rows):
+    by = {r["packing"]: r for r in packing_rows}
+    assert by["FFD"]["partitions"] <= by["FirstFit"]["partitions"]
+    assert by["FFD"]["partitions"] < by["OnePerLeaf"]["partitions"]
+
+
+def test_unpacked_leaves_are_tiny(packing_rows):
+    """The paper's warning: no packing => many near-empty partitions."""
+    by = {r["packing"]: r for r in packing_rows}
+    assert by["OnePerLeaf"]["mean_occupancy"] < 0.7 * by["FFD"]["mean_occupancy"]
+
+
+def test_packing_does_not_change_recall_much(packing_rows):
+    recalls = [r["recall"] for r in packing_rows]
+    assert max(recalls) - min(recalls) < 0.1
+
+
+def test_packing_benchmark(benchmark, packing_rows):
+    dataset, _, _ = workload("RandomWalk")
+    benchmark.pedantic(
+        lambda: _build_with_packer(dataset, BASE_SIZE_GB, first_fit),
+        rounds=1, iterations=1,
+    )

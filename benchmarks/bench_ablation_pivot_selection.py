@@ -1,0 +1,90 @@
+"""Ablation: random vs farthest-first pivot selection.
+
+The paper opts for random pivots, citing literature that "random selection
+works competitively well compared to any other sophisticated selection
+methods" (§V Step 1).  This ablation checks that claim inside CLIMBER:
+we rebuild the index with farthest-first (greedy max-min) pivots and
+compare recall and index shape.  Expected: no decisive recall advantage
+for the sophisticated method.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from bench_common import (
+    BASE_SIZE_GB,
+    K_DEFAULT,
+    build_climber,
+    climber_config,
+    emit,
+    workload,
+)
+from repro.core import ClimberIndex
+from repro.core.builder import build_index_artifacts
+from repro.evaluation import evaluate_system
+from repro.pivots import select_farthest_first_pivots
+
+
+def _build_with_farthest_first(dataset, size_gb):
+    """Build CLIMBER but with farthest-first pivots.
+
+    The builder selects pivots internally, so we monkeypatch the selection
+    function for the duration of the build — the ablation's only delta.
+    """
+    import repro.core.builder as builder_mod
+
+    original = builder_mod.select_random_pivots
+    builder_mod.select_random_pivots = select_farthest_first_pivots
+    try:
+        config = climber_config(dataset, size_gb)
+        artifacts = build_index_artifacts(dataset, config)
+        from repro.cluster import CostModel
+
+        return ClimberIndex(artifacts, config, CostModel())
+    finally:
+        builder_mod.select_random_pivots = original
+
+
+def _run() -> list[dict]:
+    rows = []
+    for name in ("RandomWalk", "TexMex"):
+        dataset, queries, truth = workload(name)
+        random_idx = build_climber(dataset, BASE_SIZE_GB)
+        ff_idx = _build_with_farthest_first(dataset, BASE_SIZE_GB)
+        for label, index in (("random", random_idx), ("farthest-first", ff_idx)):
+            ev = evaluate_system(label, lambda q, k: index.knn(q, k),
+                                 queries, truth, K_DEFAULT)
+            rows.append({
+                "dataset": name,
+                "selection": label,
+                "recall": round(ev.recall, 3),
+                "groups": index.n_groups,
+                "partitions": index.n_partitions,
+            })
+    return rows
+
+
+@pytest.fixture(scope="module")
+def ablation_rows():
+    rows = _run()
+    emit("ablation_pivot_selection",
+         "Ablation: random vs farthest-first pivot selection", rows)
+    return rows
+
+
+def test_random_is_competitive(ablation_rows):
+    """Random pivots lose at most a few recall points to farthest-first."""
+    by = {(r["dataset"], r["selection"]): r for r in ablation_rows}
+    for name in ("RandomWalk", "TexMex"):
+        random_recall = by[(name, "random")]["recall"]
+        ff_recall = by[(name, "farthest-first")]["recall"]
+        assert random_recall >= ff_recall - 0.12
+
+
+def test_ablation_benchmark(benchmark, ablation_rows):
+    dataset, _, _ = workload("RandomWalk")
+    benchmark.pedantic(
+        lambda: _build_with_farthest_first(dataset, BASE_SIZE_GB),
+        rounds=1, iterations=1,
+    )

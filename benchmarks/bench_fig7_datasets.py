@@ -1,0 +1,92 @@
+"""Figure 7(a,b): query time and recall across the four datasets.
+
+Paper setting: dataset size 200 GB, K = 500, 50 queries; systems CLIMBER
+(Adaptive-4X), DPiSAX, TARDIS, Dss.  Expected shape: all three indexes
+answer in ~10-13 s while Dss needs ~860 s; CLIMBER's recall is far above
+both iSAX systems on every dataset while Dss is exact.
+
+Scaled setting: 6 000 records/dataset of length 128, K = 25, 25 queries.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from bench_common import (
+    BASE_SIZE_GB,
+    K_DEFAULT,
+    build_climber,
+    build_dpisax,
+    build_dss,
+    build_tardis,
+    emit,
+    workload,
+)
+from repro.datasets import DATASET_NAMES
+from repro.evaluation import evaluate_system
+
+# Figure 7(a,b) readings at 200 GB (query seconds, recall).
+PAPER_FIG7 = {
+    "RandomWalk": {"CLIMBER": (13.0, 0.77), "DPiSAX": (10.0, 0.08),
+                   "TARDIS": (10.2, 0.38), "Dss": (862.0, 1.0)},
+    "TexMex": {"CLIMBER": (12.5, 0.80), "DPiSAX": (10.5, 0.10),
+               "TARDIS": (10.8, 0.40), "Dss": (870.0, 1.0)},
+    "DNA": {"CLIMBER": (12.0, 0.78), "DPiSAX": (10.0, 0.07),
+            "TARDIS": (10.5, 0.36), "Dss": (865.0, 1.0)},
+    "EEG": {"CLIMBER": (13.0, 0.79), "DPiSAX": (10.4, 0.09),
+            "TARDIS": (10.9, 0.39), "Dss": (868.0, 1.0)},
+}
+
+
+def _run() -> list[dict]:
+    rows = []
+    for name in DATASET_NAMES:
+        dataset, queries, truth = workload(name)
+        systems = {
+            "CLIMBER": build_climber(dataset, BASE_SIZE_GB).knn,
+            "DPiSAX": build_dpisax(dataset, BASE_SIZE_GB).knn,
+            "TARDIS": build_tardis(dataset, BASE_SIZE_GB).knn,
+            "Dss": build_dss(dataset, BASE_SIZE_GB).knn,
+        }
+        for system, knn in systems.items():
+            ev = evaluate_system(system, knn, queries, truth, K_DEFAULT)
+            paper_t, paper_r = PAPER_FIG7[name][system]
+            rows.append({
+                "dataset": name,
+                "system": system,
+                "query_s": round(ev.sim_seconds, 1),
+                "paper_query_s": paper_t,
+                "recall": round(ev.recall, 3),
+                "paper_recall": paper_r,
+            })
+    return rows
+
+
+@pytest.fixture(scope="module")
+def fig7_rows():
+    rows = _run()
+    emit("fig7ab_datasets", "Fig. 7(a,b): query time & recall per dataset "
+         "(200 GB-equivalent, K=25 scaled from 500)", rows)
+    return rows
+
+
+def test_fig7_shape(fig7_rows):
+    """The orderings the paper reports must hold in our reproduction."""
+    by = {(r["dataset"], r["system"]): r for r in fig7_rows}
+    for name in DATASET_NAMES:
+        climber = by[(name, "CLIMBER")]
+        tardis = by[(name, "TARDIS")]
+        dpisax = by[(name, "DPiSAX")]
+        dss = by[(name, "Dss")]
+        assert dss["recall"] == 1.0
+        assert climber["recall"] > tardis["recall"]
+        assert climber["recall"] > dpisax["recall"]
+        # Dss query time dwarfs every index.
+        assert dss["query_s"] > 20 * climber["query_s"]
+
+
+def test_fig7_query_benchmark(benchmark, fig7_rows):
+    """Wall-clock of one CLIMBER query on the RandomWalk workload."""
+    dataset, queries, _ = workload("RandomWalk")
+    index = build_climber(dataset, BASE_SIZE_GB)
+    benchmark(lambda: index.knn(queries.values[0], K_DEFAULT))

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Quickstart: build a CLIMBER index and run approximate kNN queries.
+
+Walks through the full public API in ~40 lines:
+
+1. generate a data series dataset (the RandomWalk benchmark),
+2. build the two-level pivot index (CLIMBER-INX),
+3. run approximate kNN queries with the three variants,
+4. measure recall against exact ground truth.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import ClimberConfig, ClimberIndex
+from repro.datasets import random_walk_dataset, sample_queries
+from repro.evaluation import evaluate_system, exact_ground_truth, render_table
+
+K = 20
+
+
+def main() -> None:
+    # 1. A dataset of 8 000 z-normalised random-walk series, 64 points each.
+    dataset = random_walk_dataset(8_000, 64, seed=7)
+    print(f"dataset: {dataset.count} series of length {dataset.length} "
+          f"({dataset.nbytes / 1e6:.1f} MB)")
+
+    # 2. Build the index.  The paper's defaults are 200 pivots / prefix 10
+    #    on terabyte data; we scale down proportionally.
+    config = ClimberConfig(
+        word_length=8,        # PAA segments (CLIMBER-FX step 1)
+        n_pivots=32,          # pivot count r
+        prefix_length=6,      # P4 signature length m
+        capacity=400,         # partition capacity c, in records
+        sample_fraction=0.2,  # construction sample (alpha)
+        seed=1,
+    )
+    index = ClimberIndex.build(dataset, config)
+    print(f"index: {index.n_groups} groups, {index.n_partitions} partitions, "
+          f"global index {index.global_index_nbytes / 1024:.1f} KB")
+
+    # 3 + 4. Query with each variant and score against exact ground truth.
+    queries = sample_queries(dataset, 20, seed=3)
+    truth = exact_ground_truth(dataset, queries, K)
+    rows = []
+    for variant in ("knn", "adaptive", "od-smallest"):
+        ev = evaluate_system(
+            f"CLIMBER-{variant}",
+            lambda q, k, v=variant: index.knn(q, k, variant=v),
+            queries,
+            truth,
+            K,
+        )
+        rows.append(ev.row())
+    print()
+    print(render_table(f"approximate {K}-NN over {queries.count} queries", rows))
+
+    # Inspect a single answer.
+    res = index.knn(queries.values[0], 5)
+    print(f"\nfirst query -> ids {res.ids.tolist()}, "
+          f"distances {[round(d, 3) for d in res.distances.tolist()]}")
+    print(f"touched partitions: {list(res.stats.partitions_loaded)}")
+
+
+if __name__ == "__main__":
+    main()

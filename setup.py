@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The offline environment has setuptools but no ``wheel`` package, so PEP 660
+editable installs (``pip install -e .``) cannot build. ``python setup.py
+develop`` (or ``pip install -e . --no-use-pep517``) uses the legacy egg-link
+path which needs nothing beyond setuptools.
+"""
+from setuptools import setup
+
+setup()

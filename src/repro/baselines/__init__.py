@@ -1,0 +1,37 @@
+"""Baseline systems of the paper's evaluation.
+
+Distributed disk-based: :class:`DssScanner` (exact scan),
+:class:`DpisaxIndex` (DPiSAX), :class:`TardisIndex` (TARDIS).
+Memory-based (Table I): :class:`OdysseyIndex` (exact, distributed),
+:class:`HnswIndex` (graph ANN, single node, stands in for ParlayANN-HNSW).
+"""
+
+from repro.baselines.common import (
+    BaselineResult,
+    BaselineStats,
+    simulate_distributed_build,
+)
+from repro.baselines.dpisax import DpisaxConfig, DpisaxIndex
+from repro.baselines.dss import DssScanner
+from repro.baselines.hnsw import HnswConfig, HnswIndex
+from repro.baselines.isax_tree import ISaxTree, ISaxTreeNode
+from repro.baselines.odyssey import OdysseyConfig, OdysseyIndex
+from repro.baselines.tardis import SigTreeNode, TardisConfig, TardisIndex
+
+__all__ = [
+    "BaselineResult",
+    "BaselineStats",
+    "simulate_distributed_build",
+    "DssScanner",
+    "DpisaxConfig",
+    "DpisaxIndex",
+    "TardisConfig",
+    "TardisIndex",
+    "SigTreeNode",
+    "OdysseyConfig",
+    "OdysseyIndex",
+    "HnswConfig",
+    "HnswIndex",
+    "ISaxTree",
+    "ISaxTreeNode",
+]

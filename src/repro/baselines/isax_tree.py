@@ -1,0 +1,196 @@
+"""In-memory iSAX binary tree.
+
+The local-index building block shared by the DPiSAX baseline (per-partition
+trees) and the Odyssey baseline (one global in-memory tree with exact
+branch-and-bound search).  This is the iSAX 2.0-style binary tree: a node
+splits by promoting one segment's cardinality by one bit, with the segment
+chosen round-robin by depth — the standard policy of [12]/[54].
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, IndexNotBuiltError
+from repro.series import ISaxSpace, ISaxWord
+
+__all__ = ["ISaxTreeNode", "ISaxTree"]
+
+
+@dataclass
+class ISaxTreeNode:
+    """One node: an iSAX word plus either children or resident row indices."""
+
+    word: ISaxWord
+    rows: np.ndarray | None = None
+    children: list["ISaxTreeNode"] = field(default_factory=list)
+    split_segment: int = -1
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    @property
+    def size(self) -> int:
+        if self.is_leaf:
+            return 0 if self.rows is None else int(self.rows.shape[0])
+        return sum(c.size for c in self.children)
+
+
+class ISaxTree:
+    """Bulk-loaded binary iSAX tree over full-resolution symbol rows.
+
+    Parameters
+    ----------
+    space:
+        The iSAX universe (word length, series length, max cardinality).
+    leaf_capacity:
+        Maximum rows per leaf before a split.
+    """
+
+    def __init__(self, space: ISaxSpace, leaf_capacity: int) -> None:
+        if leaf_capacity < 1:
+            raise ConfigurationError("leaf_capacity must be >= 1")
+        self.space = space
+        self.leaf_capacity = leaf_capacity
+        self.root = ISaxTreeNode(space.root_word())
+        self._symbols: np.ndarray | None = None
+        self._row_ids: np.ndarray | None = None
+
+    # -- construction -----------------------------------------------------------
+
+    def bulk_load(self, full_symbols: np.ndarray, row_ids: np.ndarray) -> None:
+        """Build the tree over ``(d, w)`` full-resolution symbols."""
+        symbols = np.asarray(full_symbols, dtype=np.int64)
+        ids = np.asarray(row_ids, dtype=np.int64)
+        if symbols.ndim != 2 or symbols.shape[1] != self.space.word_length:
+            raise ConfigurationError("symbols shape does not match the space")
+        if ids.shape[0] != symbols.shape[0]:
+            raise ConfigurationError("row_ids length mismatch")
+        self._symbols = symbols
+        self._row_ids = ids
+        self.root = ISaxTreeNode(self.space.root_word())
+        self._build(self.root, np.arange(symbols.shape[0]), depth=0)
+
+    def _next_split_segment(self, word: ISaxWord, depth: int) -> int:
+        """Round-robin over segments that still have cardinality headroom."""
+        w = self.space.word_length
+        for offset in range(w):
+            seg = (depth + offset) % w
+            if word.bits[seg] < self.space.max_bits:
+                return seg
+        return -1
+
+    def _build(self, node: ISaxTreeNode, rows: np.ndarray, depth: int) -> None:
+        if rows.shape[0] <= self.leaf_capacity:
+            node.rows = rows
+            return
+        seg = self._next_split_segment(node.word, depth)
+        if seg < 0:  # cardinality exhausted: oversized leaf
+            node.rows = rows
+            return
+        w0, w1 = node.word.split(seg)
+        bit_pos = self.space.max_bits - w0.bits[seg]
+        bits = (self._symbols[rows, seg] >> bit_pos) & 1
+        node.split_segment = seg
+        for word, mask in ((w0, bits == 0), (w1, bits == 1)):
+            child = ISaxTreeNode(word)
+            node.children.append(child)
+            self._build(child, rows[mask], depth + 1)
+
+    # -- introspection ----------------------------------------------------------
+
+    def leaves(self) -> list[ISaxTreeNode]:
+        out = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                out.append(node)
+            else:
+                stack.extend(node.children)
+        return out
+
+    def node_count(self) -> int:
+        count = 0
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            count += 1
+            stack.extend(node.children)
+        return count
+
+    # -- approximate descent (DPiSAX-style) -----------------------------------------
+
+    def descend(self, full_symbol_row: np.ndarray) -> ISaxTreeNode:
+        """Follow the query's symbols to the deepest matching node."""
+        syms = np.asarray(full_symbol_row, dtype=np.int64).ravel()
+        node = self.root
+        while not node.is_leaf:
+            seg = node.split_segment
+            child_bits = node.children[0].word.bits[seg]
+            bit = (syms[seg] >> (self.space.max_bits - child_bits)) & 1
+            node = node.children[int(bit)]
+        return node
+
+    # -- exact search (Odyssey-style) -------------------------------------------------
+
+    def exact_knn(
+        self,
+        query: np.ndarray,
+        query_paa: np.ndarray,
+        values: np.ndarray,
+        k: int,
+    ) -> tuple[np.ndarray, np.ndarray, int]:
+        """Exact kNN via best-first branch-and-bound with MINDIST pruning.
+
+        Parameters
+        ----------
+        query, query_paa:
+            The raw query series and its PAA signature.
+        values:
+            The raw data matrix the tree's row indices refer to.
+
+        Returns
+        -------
+        (ids, distances, visited_records)
+            Exact top-k (by row id) and how many raw records were scanned —
+            the pruning-effectiveness measure used for Odyssey's simulated
+            query cost.
+        """
+        if self._row_ids is None:
+            raise IndexNotBuiltError("tree is empty; call bulk_load first")
+        heap: list[tuple[float, int, ISaxTreeNode]] = []
+        counter = 0
+        heapq.heappush(heap, (0.0, counter, self.root))
+        best: list[tuple[float, int]] = []  # max-heap via negated distance
+        visited = 0
+        q = np.asarray(query, dtype=np.float64)
+        while heap:
+            lb, _, node = heapq.heappop(heap)
+            if len(best) == k and lb > -best[0][0]:
+                break
+            if node.is_leaf:
+                rows = node.rows
+                if rows is None or rows.shape[0] == 0:
+                    continue
+                visited += int(rows.shape[0])
+                d = np.sqrt(((values[rows] - q) ** 2).sum(axis=1))
+                for dist, rid in zip(d, self._row_ids[rows]):
+                    if len(best) < k:
+                        heapq.heappush(best, (-float(dist), int(rid)))
+                    elif dist < -best[0][0]:
+                        heapq.heapreplace(best, (-float(dist), int(rid)))
+                continue
+            for child in node.children:
+                clb = self.space.mindist_paa(query_paa, child.word)
+                if len(best) < k or clb <= -best[0][0]:
+                    counter += 1
+                    heapq.heappush(heap, (clb, counter, child))
+        ordered = sorted(((-nd, rid) for nd, rid in best), key=lambda t: (t[0], t[1]))
+        ids = np.array([rid for _, rid in ordered], dtype=np.int64)
+        dists = np.array([d for d, _ in ordered], dtype=np.float64)
+        return ids, dists, visited

@@ -1,0 +1,21 @@
+"""Simulated distributed compute substrate (stands in for Apache Spark)."""
+
+from repro.cluster.costmodel import (
+    CostModel,
+    TaskCost,
+    ops_euclidean,
+    ops_paa,
+    ops_signature,
+)
+from repro.cluster.simulator import ClusterSimulator, SimReport, StageReport
+
+__all__ = [
+    "CostModel",
+    "TaskCost",
+    "ops_euclidean",
+    "ops_paa",
+    "ops_signature",
+    "ClusterSimulator",
+    "SimReport",
+    "StageReport",
+]

@@ -1,0 +1,138 @@
+"""Group assignment rules (Algorithm 1), vectorised over whole batches.
+
+Every data series is assigned to the centroid with the smallest Overlap
+Distance; Weight Distance breaks OD ties, a seeded random draw breaks WD
+ties, and objects overlapping no centroid at all go to the fall-back group
+G0.  The returned group indices follow the paper's convention:
+
+* index 0  — the fall-back group G0 (``<*,*,...>``),
+* index i>0 — the group anchored at ``centroids[i - 1]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.pivots import (
+    decay_weights,
+    overlap_distance_matrix,
+    pack_pivot_sets,
+    rank_insensitive,
+    weight_distance_matrix,
+)
+
+__all__ = ["GroupAssigner", "AssignmentResult"]
+
+
+@dataclass(frozen=True)
+class AssignmentResult:
+    """Batch assignment outcome plus tie statistics (used by tests/benches)."""
+
+    group_indices: np.ndarray
+    od_ties_broken: int
+    wd_ties_broken: int
+
+
+class GroupAssigner:
+    """Assigns rank-sensitive signatures to groups per Algorithm 1.
+
+    Parameters
+    ----------
+    centroids:
+        Rank-insensitive centroid signatures (without the fall-back).
+    n_pivots:
+        Total pivot count ``r`` (bitset width).
+    prefix_length:
+        Signature length ``m``.
+    weights:
+        Decay weights of Def. 9; defaults to exponential ``lambda = 1/2``.
+    rng:
+        Source of the random tie-breaks (line 14).  A fresh default
+        generator is created when omitted.
+    """
+
+    def __init__(
+        self,
+        centroids: Sequence[tuple[int, ...]],
+        n_pivots: int,
+        prefix_length: int,
+        weights: np.ndarray | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if not centroids:
+            raise ConfigurationError("at least one centroid is required")
+        for c in centroids:
+            if len(c) != prefix_length:
+                raise ConfigurationError(
+                    f"centroid {c} length != prefix_length {prefix_length}"
+                )
+        self.centroids = [tuple(c) for c in centroids]
+        self.n_pivots = n_pivots
+        self.prefix_length = prefix_length
+        self.weights = (
+            decay_weights(prefix_length) if weights is None else np.asarray(weights)
+        )
+        if self.weights.shape != (prefix_length,):
+            raise ConfigurationError("weights length must equal prefix_length")
+        self.rng = rng or np.random.default_rng()
+        self._packed_centroids = pack_pivot_sets(
+            np.asarray(self.centroids, dtype=np.int64), n_pivots
+        )
+
+    def assign(self, ranked: np.ndarray) -> AssignmentResult:
+        """Assign a batch of rank-sensitive signatures to groups.
+
+        Returns group indices with 0 = fall-back, i>0 = ``centroids[i-1]``.
+        """
+        ranked = np.asarray(ranked, dtype=np.int64)
+        if ranked.ndim != 2 or ranked.shape[1] != self.prefix_length:
+            raise ConfigurationError(
+                f"expected (d, {self.prefix_length}) ranked signatures"
+            )
+        m = self.prefix_length
+        unranked = rank_insensitive(ranked)
+        packed = pack_pivot_sets(unranked, self.n_pivots)
+        od = overlap_distance_matrix(packed, self._packed_centroids, m)
+
+        best_od = od.min(axis=1)
+        out = np.zeros(ranked.shape[0], dtype=np.int64)
+
+        # Lines 3-5: zero overlap with every centroid -> fall-back group 0.
+        fallback = best_od == m
+        # Lines 6-7: unique smallest OD.
+        is_best = od == best_od[:, None]
+        n_best = is_best.sum(axis=1)
+        unique = (~fallback) & (n_best == 1)
+        out[unique] = od[unique].argmin(axis=1) + 1
+
+        # Lines 8-14: OD ties -> Weight Distance, then random.
+        tied = (~fallback) & (n_best > 1)
+        od_ties = int(tied.sum())
+        wd_ties = 0
+        if od_ties:
+            rows = np.flatnonzero(tied)
+            wd = weight_distance_matrix(
+                ranked[rows], self._packed_centroids, self.n_pivots, self.weights
+            )
+            # Restrict to the OD-tied centroids per row.
+            wd = np.where(is_best[rows], wd, np.inf)
+            best_wd = wd.min(axis=1)
+            wd_best = wd <= best_wd[:, None] + 1e-12
+            n_wd_best = wd_best.sum(axis=1)
+            for local, row in enumerate(rows):
+                candidates = np.flatnonzero(wd_best[local])
+                if n_wd_best[local] == 1:
+                    out[row] = candidates[0] + 1
+                else:
+                    wd_ties += 1
+                    out[row] = int(self.rng.choice(candidates)) + 1
+        return AssignmentResult(out, od_ties, wd_ties)
+
+    def assign_one(self, ranked_sig: Sequence[int]) -> int:
+        """Assign a single signature (used for query routing)."""
+        row = np.asarray(ranked_sig, dtype=np.int64).reshape(1, -1)
+        return int(self.assign(row).group_indices[0])

@@ -1,0 +1,279 @@
+"""CLIMBER-INX construction (paper Fig. 6).
+
+The four steps, executed for real on the input dataset while declaring
+paper-scale costs to the cluster simulator:
+
+1. partition-level sampling; PAA + pivot selection + rank-sensitive
+   signatures of the sample;
+2. aggregation of signatures and data-driven centroid selection
+   (Algorithm 2);
+3. group formation (Algorithm 1), per-group trie partitioning (§IV-D) and
+   FFD leaf packing (Def. 13) — yielding the index skeleton;
+4. broadcast of skeleton + pivots, full-data signature conversion, and
+   re-distribution of every record into its physical partition.
+
+Phase naming matches Fig. 10(a): stages are prefixed ``build/skeleton``,
+``build/convert`` and ``build/redistribute`` so the per-phase breakdown
+can be read back from the simulation report.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster import (
+    ClusterSimulator,
+    CostModel,
+    SimReport,
+    TaskCost,
+    ops_paa,
+    ops_signature,
+)
+from repro.core.assignment import GroupAssigner
+from repro.core.centroids import compute_centroids
+from repro.core.config import ClimberConfig
+from repro.core.packing import first_fit_decreasing
+from repro.core.skeleton import (
+    GroupEntry,
+    IndexSkeleton,
+    SkeletonWithPivots,
+    cluster_key,
+    partition_name,
+)
+from repro.core.trie import build_group_trie
+from repro.exceptions import ConfigurationError
+from repro.pivots import decay_weights, permutation_prefixes, select_random_pivots
+from repro.series import SeriesDataset, paa_transform
+from repro.storage import PartitionFile, SimulatedDFS
+
+__all__ = ["BuildArtifacts", "build_index_artifacts"]
+
+
+@dataclass
+class BuildArtifacts:
+    """Everything the builder produces; consumed by ClimberIndex."""
+
+    skeleton: IndexSkeleton
+    pivots: np.ndarray
+    dfs: SimulatedDFS
+    assigner: GroupAssigner
+    sim_report: SimReport
+    wall_seconds: float
+    n_records: int
+
+    @property
+    def phase_seconds(self) -> dict[str, float]:
+        """Construction-phase breakdown (paper Fig. 10(a))."""
+        return {
+            "skeleton": self.sim_report.seconds_for("build/skeleton"),
+            "conversion": self.sim_report.seconds_for("build/convert"),
+            "redistribution": self.sim_report.seconds_for("build/redistribute"),
+        }
+
+
+def build_index_artifacts(
+    dataset: SeriesDataset,
+    config: ClimberConfig,
+    dfs: SimulatedDFS | None = None,
+    model: CostModel | None = None,
+) -> BuildArtifacts:
+    """Run the full four-step construction workflow."""
+    import time
+
+    t0 = time.perf_counter()
+    if dataset.length < config.word_length:
+        raise ConfigurationError(
+            f"series length {dataset.length} < word length {config.word_length}"
+        )
+    dfs = dfs if dfs is not None else SimulatedDFS()
+    sim = ClusterSimulator(model or CostModel())
+    rng = np.random.default_rng(config.seed)
+    scale = config.cost_scale
+    n = dataset.length
+    w, r, m = config.word_length, config.n_pivots, config.prefix_length
+    capacity = config.capacity or dfs.block_records(n)
+    sig_ops = ops_paa(n) + ops_signature(r, w, m)
+
+    # ------------------------------------------------------------------ Step 1
+    chunks = dataset.split_into_chunks(config.n_input_partitions)
+    n_sampled = max(1, round(config.sample_fraction * len(chunks)))
+    sample_idx = np.sort(rng.choice(len(chunks), size=n_sampled, replace=False))
+    sample_rows = np.concatenate(
+        [chunks[i].values for i in sample_idx], axis=0
+    )
+    alpha = sample_rows.shape[0] / dataset.count
+    sample_bytes = sum(chunks[i].nbytes for i in sample_idx)
+    sim.run_scaled_stage(
+        "build/skeleton/sample",
+        TaskCost(
+            read_bytes=int(sample_bytes * scale),
+            cpu_ops=int(sample_rows.shape[0] * sig_ops * scale),
+        ),
+        min_tasks=len(sample_idx),
+    )
+    sample_paa = paa_transform(sample_rows, w)
+    if r > sample_paa.shape[0]:
+        raise ConfigurationError(
+            f"sample holds {sample_paa.shape[0]} series < n_pivots {r}; "
+            "increase sample_fraction or decrease n_pivots"
+        )
+    pivots = select_random_pivots(sample_paa, r, rng)
+    sample_ranked = permutation_prefixes(sample_paa, pivots, m)
+
+    # ------------------------------------------------------------------ Step 2
+    ranked_counter: Counter[tuple[int, ...]] = Counter(
+        tuple(int(p) for p in row) for row in sample_ranked
+    )
+    unranked_counter: Counter[tuple[int, ...]] = Counter()
+    for sig, freq in ranked_counter.items():
+        unranked_counter[tuple(sorted(sig))] += freq
+    unranked_sigs = list(unranked_counter)
+    unranked_freqs = [unranked_counter[s] for s in unranked_sigs]
+    centroids = compute_centroids(
+        unranked_sigs,
+        unranked_freqs,
+        sample_fraction=alpha,
+        capacity=capacity,
+        epsilon=config.epsilon,
+        max_centroids=config.max_centroids,
+    )
+    # Driver-side work on the aggregated signature list: its size grows
+    # with the number of *distinct* signatures, not the data volume, so it
+    # is charged honestly (not multiplied by cost_scale).
+    sim.run_driver_step(
+        "build/skeleton/centroids",
+        TaskCost(cpu_ops=len(unranked_sigs) * max(1, len(centroids)) * m),
+    )
+
+    # ------------------------------------------------------------------ Step 3
+    weights = decay_weights(m, config.decay, config.decay_rate)
+    assigner = GroupAssigner(centroids, r, m, weights=weights, rng=rng)
+    distinct_ranked = np.array(sorted(ranked_counter), dtype=np.int64)
+    distinct_freqs = np.array(
+        [ranked_counter[tuple(row)] for row in distinct_ranked.tolist()]
+    )
+    group_of_sig = assigner.assign(distinct_ranked).group_indices
+
+    n_groups = len(centroids) + 1
+    members: list[list[tuple[tuple[int, ...], float]]] = [[] for _ in range(n_groups)]
+    for row, freq, gid in zip(
+        distinct_ranked.tolist(), distinct_freqs.tolist(), group_of_sig.tolist()
+    ):
+        members[gid].append((tuple(row), freq / alpha))
+
+    groups: list[GroupEntry] = []
+    next_pid = 0
+    for gid in range(n_groups):
+        sigs = [s for s, _ in members[gid]]
+        counts = [c for _, c in members[gid]]
+        trie = build_group_trie(sigs, counts, capacity)
+        leaves = list(trie.leaves())
+        bins = first_fit_decreasing(
+            [(leaf.path, leaf.count) for leaf in leaves], capacity
+        )
+        leaf_by_path = {leaf.path: leaf for leaf in leaves}
+        bin_loads: list[float] = []
+        bin_pids: list[int] = []
+        for bin_paths in bins:
+            pid = next_pid
+            next_pid += 1
+            load = 0.0
+            for path in bin_paths:
+                leaf = leaf_by_path[path]
+                leaf.partition_ids = {pid}
+                load += leaf.count
+            bin_loads.append(load)
+            bin_pids.append(pid)
+        trie.finalize_partitions()
+        default_pid = bin_pids[int(np.argmin(bin_loads))]
+        groups.append(
+            GroupEntry(
+                group_id=gid,
+                centroid=() if gid == 0 else centroids[gid - 1],
+                trie=trie,
+                default_partition=default_pid,
+                est_size=trie.count,
+            )
+        )
+    skeleton = IndexSkeleton(
+        prefix_length=m,
+        n_pivots=r,
+        word_length=w,
+        groups=groups,
+        n_partitions=next_pid,
+    )
+    sim.run_driver_step(
+        "build/skeleton/assemble",
+        TaskCost(cpu_ops=len(distinct_ranked) * m * 8),
+    )
+
+    # ------------------------------------------------------------------ Step 4
+    broadcast_bytes = len(SkeletonWithPivots(skeleton, pivots).to_bytes())
+    sim.broadcast("build/redistribute/broadcast", broadcast_bytes)
+
+    sim.run_scaled_stage(
+        "build/convert",
+        TaskCost(
+            read_bytes=int(dataset.nbytes * scale),
+            cpu_ops=int(dataset.count * sig_ops * scale),
+        ),
+        min_tasks=len(chunks),
+    )
+
+    # Real routing of every record.
+    clusters: dict[int, dict[str, list[int]]] = {}
+    row_offset = 0
+    for chunk in chunks:
+        paa = paa_transform(chunk.values, w)
+        ranked = permutation_prefixes(paa, pivots, m)
+        gids = assigner.assign(ranked).group_indices
+        for local in range(chunk.count):
+            gid = int(gids[local])
+            entry = groups[gid]
+            node = entry.trie.descend(ranked[local])
+            if node.is_leaf:
+                pid = next(iter(node.partition_ids))
+                key = cluster_key(gid, node.path)
+            else:
+                pid = entry.default_partition
+                key = cluster_key(gid, None)
+            clusters.setdefault(pid, {}).setdefault(key, []).append(
+                row_offset + local
+            )
+        row_offset += chunk.count
+
+    written_bytes = 0
+    n_written = 0
+    for pid in sorted(clusters):
+        mapping = {
+            key: (dataset.ids[rows], dataset.values[rows])
+            for key, rows in clusters[pid].items()
+            for rows in [np.asarray(rows, dtype=np.int64)]
+        }
+        part = PartitionFile.from_clusters(partition_name(pid), mapping)
+        dfs.write_partition(part)
+        written_bytes += part.nbytes
+        n_written += 1
+    sim.run_scaled_stage(
+        "build/redistribute/shuffle",
+        TaskCost(shuffle_bytes=int(dataset.nbytes * scale)),
+        min_tasks=len(chunks),
+    )
+    sim.run_scaled_stage(
+        "build/redistribute/write",
+        TaskCost(write_bytes=int(written_bytes * scale)),
+        min_tasks=n_written,
+    )
+
+    return BuildArtifacts(
+        skeleton=skeleton,
+        pivots=pivots,
+        dfs=dfs,
+        assigner=assigner,
+        sim_report=sim.fresh_report(),
+        wall_seconds=time.perf_counter() - t0,
+        n_records=dataset.count,
+    )

@@ -1,0 +1,99 @@
+"""Data-driven computation of group centroids (Algorithm 2).
+
+Input: the aggregated list ``[(P4-/-> signature, frequency)]`` from
+construction Step 2.  The algorithm walks the list in descending frequency
+order and keeps a signature as a new centroid when it is (a) far enough
+(Overlap Distance >= epsilon) from every centroid chosen so far and (b)
+expected to anchor a group bigger than the storage capacity.  Because the
+statistics come from an ``alpha`` sample, the capacity threshold is scaled
+by ``alpha``.
+
+Centroids are *virtual*: they carry only rank-insensitive signatures
+(Section IV-C), which is why the Weight Distance of Def. 11 exists at all.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.exceptions import ConfigurationError
+from repro.pivots import overlap_distance
+
+__all__ = ["compute_centroids", "FALLBACK_CENTROID"]
+
+FALLBACK_CENTROID: tuple[int, ...] = ()
+"""The special ``<*,*,...>`` centroid of group G0 (Algorithm 2 line 17):
+data series overlapping no real centroid fall back to it.  Represented as
+an empty pivot set."""
+
+
+def compute_centroids(
+    signatures: Sequence[tuple[int, ...]],
+    frequencies: Sequence[int],
+    *,
+    sample_fraction: float,
+    capacity: int,
+    epsilon: int,
+    max_centroids: int | None = None,
+) -> list[tuple[int, ...]]:
+    """Algorithm 2: select group centroids from sampled signature statistics.
+
+    Parameters
+    ----------
+    signatures:
+        Distinct rank-insensitive signatures observed in the sample.
+    frequencies:
+        Occurrence count of each signature (same order).
+    sample_fraction:
+        ``alpha`` as a fraction in (0, 1].
+    capacity:
+        Storage capacity constraint ``c`` in records (full-data scale).
+    epsilon:
+        Minimum Overlap Distance between any two selected centroids.
+    max_centroids:
+        Optional stopping criterion.
+
+    Returns
+    -------
+    list of tuple
+        Selected centroid signatures, ordered by selection (most frequent
+        first).  The fall-back centroid is *not* included; callers place it
+        at group index 0 themselves.
+    """
+    if len(signatures) != len(frequencies):
+        raise ConfigurationError("signatures and frequencies length mismatch")
+    if not signatures:
+        return []
+    if not 0.0 < sample_fraction <= 1.0:
+        raise ConfigurationError("sample_fraction must be in (0, 1]")
+    if capacity < 1:
+        raise ConfigurationError("capacity must be >= 1")
+
+    # Line 2: sort descending by frequency; ties broken lexicographically
+    # by signature so the selection is deterministic.
+    order = sorted(
+        range(len(signatures)), key=lambda i: (-int(frequencies[i]), signatures[i])
+    )
+    sigs = [tuple(signatures[i]) for i in order]
+    freqs = [int(frequencies[i]) for i in order]
+    total_freq = sum(freqs)
+
+    selected: list[tuple[int, ...]] = [sigs[0]]  # line 3
+    selected_freq = freqs[0]
+    size_threshold = sample_fraction * capacity  # line 12: alpha * c
+
+    for i in range(1, len(sigs)):
+        if max_centroids is not None and len(selected) >= max_centroids:
+            break  # lines 15-16
+        # Lines 5-9: skip candidates too close to an existing centroid.
+        if any(overlap_distance(sigs[i], c) < epsilon for c in selected):
+            continue
+        # Lines 10-12: estimate the candidate group's size assuming the
+        # remaining (non-centroid) mass spreads uniformly over the groups.
+        remaining = total_freq - selected_freq - freqs[i]
+        size_est = freqs[i] + remaining / (len(selected) + 1)
+        if size_est < size_threshold:
+            break  # line 13: later candidates are rarer still
+        selected.append(sigs[i])  # line 14
+        selected_freq += freqs[i]
+    return selected

@@ -1,0 +1,133 @@
+"""CLIMBER configuration.
+
+All tunables of Sections IV-VI in one validated dataclass.  Paper defaults
+(§VII-A): 200 pivots, prefix length 10, K = 500, CLIMBER-kNN-Adaptive-4X
+as the default variant.  The scaled-down defaults used by tests and
+benchmarks are set per call site; this class only validates consistency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+from repro.pivots.distances import DecayKind
+
+__all__ = ["ClimberConfig", "PAPER_DEFAULTS"]
+
+
+@dataclass(frozen=True)
+class ClimberConfig:
+    """Parameters of CLIMBER-FX, CLIMBER-INX, and the query algorithms.
+
+    Parameters
+    ----------
+    word_length:
+        PAA segments ``w`` (CLIMBER-FX Step 1).
+    n_pivots:
+        Total pivots ``r`` (paper default 200; sweet spot 150-250, Fig. 10).
+    prefix_length:
+        Pivot-permutation-prefix length ``m`` (paper default 10; ideal range
+        10-20, Fig. 12).
+    capacity:
+        Partition capacity ``c`` in records (Def. 12).  ``None`` means
+        "derive from the DFS block size", matching the paper's HDFS-block
+        constraint.
+    sample_fraction:
+        ``alpha`` — fraction of input partitions sampled to build the index
+        skeleton (construction Steps 1-3).
+    min_centroid_separation:
+        ``epsilon`` in Algorithm 2 — minimum Overlap Distance between any
+        two selected centroids.  ``None`` defaults to ``ceil(m / 2)`` (the
+        paper gives no value; see DESIGN.md §4).
+    max_centroids:
+        Optional stopping criterion of Algorithm 2.
+    decay, decay_rate:
+        Pivot-weight decay function of Def. 9 (exponential with
+        ``lambda = 1/2`` by default, as in the paper's Example 1).
+    adaptive_factor:
+        Partition budget multiplier of CLIMBER-kNN-Adaptive relative to
+        CLIMBER-kNN: 2 for the -2X variant, 4 for -4X, 1 disables
+        adaptivity.
+    seed:
+        Seed for pivot selection and the random tie-breaks of
+        Algorithms 1 and 3.
+    n_input_partitions:
+        How many chunks the raw dataset arrives in (the sampling unit of
+        construction Step 1).
+    cost_scale:
+        Paper-scale multiplier for the simulated cost accounting: every
+        declared byte/op count is multiplied by this factor so a scaled-down
+        run reports paper-scale simulated times.  1.0 reports the honest
+        scaled cost.  See DESIGN.md §1.
+    sim_partition_bytes:
+        When set, each partition touched by a *query* is charged as one
+        storage block of this many bytes (the paper's 64 MB HDFS block)
+        instead of the scaled partition's bytes times ``cost_scale``.
+        Needed because a 10^5 scale-down cannot match total data volume and
+        per-block volume simultaneously; queries are block-granular in the
+        paper, so benches set this to 64 MB.  ``None`` keeps honest scaled
+        accounting.
+    """
+
+    word_length: int = 16
+    n_pivots: int = 200
+    prefix_length: int = 10
+    capacity: int | None = None
+    sample_fraction: float = 0.1
+    min_centroid_separation: int | None = None
+    max_centroids: int | None = None
+    decay: DecayKind = "exponential"
+    decay_rate: float | None = None
+    adaptive_factor: int = 4
+    seed: int = 0
+    n_input_partitions: int = 32
+    cost_scale: float = 1.0
+    sim_partition_bytes: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.word_length < 1:
+            raise ConfigurationError("word_length must be >= 1")
+        if self.n_pivots < 2:
+            raise ConfigurationError("n_pivots must be >= 2")
+        if not 1 <= self.prefix_length <= self.n_pivots:
+            raise ConfigurationError(
+                f"prefix_length must be in [1, n_pivots={self.n_pivots}]"
+            )
+        if self.capacity is not None and self.capacity < 1:
+            raise ConfigurationError("capacity must be >= 1 when given")
+        if not 0.0 < self.sample_fraction <= 1.0:
+            raise ConfigurationError("sample_fraction must be in (0, 1]")
+        if self.min_centroid_separation is not None and not (
+            0 <= self.min_centroid_separation <= self.prefix_length
+        ):
+            raise ConfigurationError(
+                "min_centroid_separation must be in [0, prefix_length]"
+            )
+        if self.max_centroids is not None and self.max_centroids < 1:
+            raise ConfigurationError("max_centroids must be >= 1 when given")
+        if self.adaptive_factor < 1:
+            raise ConfigurationError("adaptive_factor must be >= 1")
+        if self.n_input_partitions < 1:
+            raise ConfigurationError("n_input_partitions must be >= 1")
+        if self.cost_scale <= 0:
+            raise ConfigurationError("cost_scale must be positive")
+        if self.sim_partition_bytes is not None and self.sim_partition_bytes < 1024:
+            raise ConfigurationError("sim_partition_bytes must be >= 1024")
+
+    @property
+    def epsilon(self) -> int:
+        """Effective minimum centroid separation for Algorithm 2."""
+        if self.min_centroid_separation is not None:
+            return self.min_centroid_separation
+        return (self.prefix_length + 1) // 2
+
+
+PAPER_DEFAULTS = ClimberConfig(
+    word_length=16,
+    n_pivots=200,
+    prefix_length=10,
+    sample_fraction=0.01,
+    adaptive_factor=4,
+)
+"""The paper's default configuration (§VII-A), for reference in benches."""

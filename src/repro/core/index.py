@@ -1,0 +1,700 @@
+"""The CLIMBER index and its query algorithms (Section VI).
+
+:class:`ClimberIndex` is the public entry point of this library: build it
+over a :class:`~repro.series.SeriesDataset` and issue approximate kNN
+queries with any of the paper's three variants:
+
+* ``variant="knn"`` — CLIMBER-kNN (Algorithm 3): route to the single best
+  trie node, search its partition(s), expand within the same partition if
+  the node holds fewer than k records.
+* ``variant="adaptive"`` — CLIMBER-kNN-Adaptive: when the best node is
+  smaller than k, expand over the memorised runner-up trie nodes across
+  the best-matching groups, capped at ``adaptive_factor`` times the
+  partitions CLIMBER-kNN would touch (2X and 4X in the paper).
+* ``variant="od-smallest"`` — the OD-Smallest comparator of §VII-C: scan
+  every partition of every group tied at the smallest Overlap Distance.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster import ClusterSimulator, CostModel, TaskCost, ops_euclidean, ops_signature
+from repro.core.builder import BuildArtifacts, build_index_artifacts
+from repro.core.config import ClimberConfig
+from repro.core.skeleton import GroupEntry, cluster_key, partition_name
+from repro.core.trie import TrieNode
+from repro.exceptions import ConfigurationError
+from repro.pivots import (
+    overlap_distance,
+    weight_distance,
+)
+from repro.series import SeriesDataset, knn_bruteforce, paa_transform
+from repro.pivots import decay_weights, permutation_prefixes
+
+__all__ = ["ClimberIndex", "QueryResult", "QueryStats", "GroupCandidate"]
+
+
+@dataclass(frozen=True)
+class GroupCandidate:
+    """One group considered during routing, with its match diagnostics."""
+
+    entry: GroupEntry
+    od: int
+    wd: float
+    path: tuple[TrieNode, ...]
+
+    @property
+    def gn(self) -> TrieNode:
+        """The deepest trie node reached by the query (Node GN)."""
+        return self.path[-1]
+
+    @property
+    def path_len(self) -> int:
+        return self.gn.depth
+
+
+@dataclass(frozen=True)
+class QueryStats:
+    """Diagnostics of one kNN query (metrics of Figs. 7, 9, 11, 12)."""
+
+    variant: str
+    k: int
+    best_od: int
+    group_ids: tuple[int, ...]
+    path_len: int
+    gn_size: float
+    n_selected_nodes: int
+    partitions_loaded: tuple[str, ...]
+    data_bytes: int
+    records_examined: int
+    expanded_within_partition: bool
+    sim_seconds: float
+    wall_seconds: float
+
+    @property
+    def n_partitions(self) -> int:
+        return len(self.partitions_loaded)
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Approximate kNN answer set plus query diagnostics."""
+
+    ids: np.ndarray
+    distances: np.ndarray
+    stats: QueryStats
+
+
+class ClimberIndex:
+    """A built CLIMBER index over one data series dataset."""
+
+    def __init__(self, artifacts: BuildArtifacts, config: ClimberConfig,
+                 model: CostModel) -> None:
+        self._art = artifacts
+        self.config = config
+        self.model = model
+        self._rng = np.random.default_rng(config.seed + 1)
+        self._weights = decay_weights(
+            config.prefix_length, config.decay, config.decay_rate
+        )
+
+    # -- construction -------------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        dataset: SeriesDataset,
+        config: ClimberConfig | None = None,
+        dfs=None,
+        model: CostModel | None = None,
+    ) -> "ClimberIndex":
+        """Build the index (paper Fig. 6); see :class:`ClimberConfig`."""
+        config = config or ClimberConfig()
+        model = model or CostModel()
+        artifacts = build_index_artifacts(dataset, config, dfs=dfs, model=model)
+        return cls(artifacts, config, model)
+
+    # -- incremental maintenance ------------------------------------------------
+
+    def _delta_names(self, base_name: str) -> list[str]:
+        """Delta partitions of ``base_name``, discovered by naming convention.
+
+        Appends write ``<base>.d0``, ``<base>.d1``, ... so no registry has
+        to be persisted: a reopened index finds deltas by listing the DFS.
+        """
+        prefix = f"{base_name}.d"
+        return [p for p in self.dfs.list_partitions() if p.startswith(prefix)]
+
+    def append(self, dataset: SeriesDataset) -> dict[str, object]:
+        """Route new records into the existing index (incremental append).
+
+        The paper motivates CLIMBER with sources that generate series
+        continuously (ECG devices, weblogs); this routes a new batch
+        through the *frozen* skeleton — same pivots, same groups, same
+        tries — into fresh *delta* partition files next to the originals.
+        Queries transparently read base + delta partitions, and the
+        convention-based delta naming survives :meth:`reopen`.
+
+        The skeleton is not rebalanced: like the paper's unseen-signature
+        handling, records that cannot complete a root-to-leaf walk land in
+        their group's default partition.  Periodic full rebuilds remain the
+        answer to heavy drift.
+
+        Returns a summary dict (records appended, partitions written,
+        simulated seconds).
+        """
+        existing = self.dfs.list_partitions()
+        if existing:
+            base_length = self.dfs.read_partition(existing[0]).series_length
+            if dataset.length != base_length:
+                raise ConfigurationError(
+                    f"appended series length {dataset.length} != indexed "
+                    f"length {base_length}"
+                )
+        cfg = self.config
+        sim = ClusterSimulator(self.model)
+        scale = cfg.cost_scale
+        paa = paa_transform(dataset.values, cfg.word_length)
+        ranked = permutation_prefixes(paa, self._art.pivots, cfg.prefix_length)
+        gids = self._art.assigner.assign(ranked).group_indices
+
+        clusters: dict[int, dict[str, list[int]]] = {}
+        for local in range(dataset.count):
+            gid = int(gids[local])
+            entry = self._art.skeleton.group(gid)
+            node = entry.trie.descend(ranked[local])
+            if node.is_leaf and node.partition_ids:
+                pid = next(iter(node.partition_ids))
+                key = cluster_key(gid, node.path)
+            else:
+                pid = entry.default_partition
+                key = cluster_key(gid, None)
+            clusters.setdefault(pid, {}).setdefault(key, []).append(local)
+
+        from repro.storage import PartitionFile
+
+        written = []
+        written_bytes = 0
+        for pid in sorted(clusters):
+            base = partition_name(pid)
+            seq = len(self._delta_names(base))
+            mapping = {
+                key: (dataset.ids[rows], dataset.values[rows])
+                for key, rows in clusters[pid].items()
+                for rows in [np.asarray(rows, dtype=np.int64)]
+            }
+            part = PartitionFile.from_clusters(f"{base}.d{seq}", mapping)
+            self.dfs.write_partition(part)
+            written.append(part.partition_id)
+            written_bytes += part.nbytes
+
+        from repro.cluster import ops_paa, ops_signature
+
+        sig_ops = ops_paa(dataset.length) + ops_signature(
+            cfg.n_pivots, cfg.word_length, cfg.prefix_length
+        )
+        sim.run_scaled_stage(
+            "append/convert",
+            TaskCost(
+                read_bytes=int(dataset.nbytes * scale),
+                cpu_ops=int(dataset.count * sig_ops * scale),
+            ),
+        )
+        sim.run_scaled_stage(
+            "append/write",
+            TaskCost(
+                shuffle_bytes=int(dataset.nbytes * scale),
+                write_bytes=int(written_bytes * scale),
+            ),
+        )
+        self._art.n_records += dataset.count
+        report = sim.fresh_report()
+        return {
+            "records_appended": dataset.count,
+            "delta_partitions": written,
+            "sim_seconds": report.total_seconds,
+        }
+
+    def knn_batch(
+        self,
+        queries: np.ndarray,
+        k: int,
+        variant: str = "adaptive",
+        adaptive_factor: int | None = None,
+    ) -> list[QueryResult]:
+        """Answer a batch of kNN queries (rows of ``queries``).
+
+        Queries are independent in CLIMBER (no shared scan state), so the
+        batch API is a convenience wrapper with one result per row.
+        """
+        arr = np.asarray(queries, dtype=np.float64)
+        if arr.ndim == 1:
+            arr = arr.reshape(1, -1)
+        return [self.knn(row, k, variant, adaptive_factor) for row in arr]
+
+    # -- persistence ---------------------------------------------------------------
+
+    def save_global_index(self) -> bytes:
+        """Serialise the broadcastable structure (skeleton + pivots).
+
+        Together with the DFS partitions this is the index's full
+        persistent state — exactly what the paper's driver broadcasts in
+        construction Step 4.
+        """
+        from repro.core.skeleton import SkeletonWithPivots
+
+        return SkeletonWithPivots(self._art.skeleton, self._art.pivots).to_bytes()
+
+    @classmethod
+    def reopen(
+        cls,
+        global_index: bytes,
+        dfs,
+        config: ClimberConfig,
+        model: CostModel | None = None,
+    ) -> "ClimberIndex":
+        """Reconstruct a queryable index from persisted state.
+
+        Parameters
+        ----------
+        global_index:
+            Bytes from :meth:`save_global_index`.
+        dfs:
+            The storage holding the data partitions written at build time.
+        config:
+            The configuration the index was built with (routing depends on
+            word length, prefix length, and decay settings).
+        """
+        import numpy as np
+
+        from repro.cluster import SimReport
+        from repro.core.assignment import GroupAssigner
+        from repro.core.builder import BuildArtifacts
+        from repro.core.skeleton import SkeletonWithPivots
+        from repro.pivots import decay_weights
+
+        model = model or CostModel()
+        loaded = SkeletonWithPivots.from_bytes(global_index)
+        skeleton = loaded.skeleton
+        if skeleton.prefix_length != config.prefix_length:
+            raise ConfigurationError(
+                "persisted skeleton prefix length does not match the config"
+            )
+        assigner = GroupAssigner(
+            skeleton.centroids,
+            skeleton.n_pivots,
+            skeleton.prefix_length,
+            weights=decay_weights(config.prefix_length, config.decay,
+                                  config.decay_rate),
+            rng=np.random.default_rng(config.seed),
+        )
+        n_records = sum(
+            dfs.read_partition(p).record_count for p in dfs.list_partitions()
+        )
+        artifacts = BuildArtifacts(
+            skeleton=skeleton,
+            pivots=loaded.pivots,
+            dfs=dfs,
+            assigner=assigner,
+            sim_report=SimReport(),
+            wall_seconds=0.0,
+            n_records=n_records,
+        )
+        return cls(artifacts, config, model)
+
+    # -- introspection ---------------------------------------------------------------
+
+    @property
+    def skeleton(self):
+        return self._art.skeleton
+
+    @property
+    def pivots(self) -> np.ndarray:
+        return self._art.pivots
+
+    @property
+    def dfs(self):
+        return self._art.dfs
+
+    @property
+    def n_groups(self) -> int:
+        return len(self._art.skeleton.groups)
+
+    @property
+    def n_partitions(self) -> int:
+        return self._art.skeleton.n_partitions
+
+    @property
+    def n_records(self) -> int:
+        return self._art.n_records
+
+    @property
+    def global_index_nbytes(self) -> int:
+        """Size of the broadcast structure (skeleton + pivots), Fig. 8(b)."""
+        return self._art.skeleton.nbytes + self._art.pivots.nbytes
+
+    @property
+    def build_sim_seconds(self) -> float:
+        """Simulated index construction time (Fig. 8(a),(c))."""
+        return self._art.sim_report.total_seconds
+
+    @property
+    def build_phase_seconds(self) -> dict[str, float]:
+        """Construction breakdown: skeleton/conversion/redistribution (Fig. 10(a))."""
+        return self._art.phase_seconds
+
+    @property
+    def build_wall_seconds(self) -> float:
+        return self._art.wall_seconds
+
+    def describe(self) -> dict[str, object]:
+        """Structural summary of the index (for logging and examples).
+
+        Returns group count, partition statistics, trie-node totals, and
+        the serialised global-index size.
+        """
+        skeleton = self._art.skeleton
+        partition_records = [
+            self.dfs.read_partition(p).record_count
+            for p in self.dfs.list_partitions()
+        ]
+        group_sizes = sorted(
+            (g.est_size for g in skeleton.groups), reverse=True
+        )
+        return {
+            "records": self.n_records,
+            "groups": self.n_groups,
+            "partitions": self.n_partitions,
+            "partitions_written": len(partition_records),
+            "trie_nodes": skeleton.total_trie_nodes(),
+            "global_index_bytes": self.global_index_nbytes,
+            "largest_group_est": group_sizes[0] if group_sizes else 0.0,
+            "mean_partition_records": (
+                float(np.mean(partition_records)) if partition_records else 0.0
+            ),
+            "max_partition_records": (
+                int(max(partition_records)) if partition_records else 0
+            ),
+        }
+
+    # -- query pipeline ---------------------------------------------------------------
+
+    def query_signature(self, query: np.ndarray) -> np.ndarray:
+        """Rank-sensitive signature of a query series (Algorithm 3 L2-4)."""
+        q = np.asarray(query, dtype=np.float64).reshape(1, -1)
+        paa = paa_transform(q, self.config.word_length)
+        return permutation_prefixes(paa, self._art.pivots, self.config.prefix_length)[0]
+
+    def group_candidates(
+        self, ranked_sig: np.ndarray, od_slack: int = 0
+    ) -> list[GroupCandidate]:
+        """Groups at (or near) the smallest OD, ordered by (OD, WD, id).
+
+        Implements Algorithm 3 lines 5-9 plus the bookkeeping the adaptive
+        variant memorises: §VI allows memorising "all groups having the
+        same smallest OD distance *or having a distance less than a certain
+        threshold*" — ``od_slack`` is that threshold above the minimum.
+        Falls back to group G0 when nothing overlaps.
+        """
+        sig = tuple(int(p) for p in ranked_sig)
+        unranked = tuple(sorted(sig))
+        m = self.config.prefix_length
+        skeleton = self._art.skeleton
+        ods = [
+            overlap_distance(unranked, g.centroid) if not g.is_fallback else m
+            for g in skeleton.groups
+        ]
+        best = min(ods[1:]) if len(ods) > 1 else m
+        if best >= m:
+            chosen = [(skeleton.groups[0], m)]
+        else:
+            limit = min(best + od_slack, m - 1)
+            chosen = [
+                (g, od) for g, od in zip(skeleton.groups, ods)
+                if od <= limit and not g.is_fallback
+            ]
+        out = []
+        for g, od in chosen:
+            wd = (
+                weight_distance(sig, g.centroid, self._weights)
+                if g.centroid
+                else float(np.sum(self._weights))
+            )
+            path = tuple(g.trie.descend_path(sig))
+            out.append(GroupCandidate(g, od, wd, path))
+        out.sort(key=lambda c: (c.od, c.wd, c.entry.group_id))
+        return out
+
+    def select_primary(self, candidates: list[GroupCandidate]) -> GroupCandidate:
+        """Tie-breaking of Algorithm 3 lines 7-19: WD, path length, node size.
+
+        Only groups at the strictly smallest OD compete for primary; any
+        slack candidates exist purely for adaptive expansion.
+        """
+        if not candidates:
+            raise ConfigurationError("no candidate groups")
+        best_od = min(c.od for c in candidates)
+        candidates = [c for c in candidates if c.od == best_od]
+        best_wd = min(c.wd for c in candidates)
+        tied = [c for c in candidates if c.wd <= best_wd + 1e-12]
+        if len(tied) > 1:
+            longest = max(c.path_len for c in tied)
+            tied = [c for c in tied if c.path_len == longest]
+        if len(tied) > 1:
+            largest = max(c.gn.count for c in tied)
+            tied = [c for c in tied if c.gn.count == largest]
+        if len(tied) > 1:
+            return tied[int(self._rng.integers(0, len(tied)))]
+        return tied[0]
+
+    # -- node selection per variant ----------------------------------------------------
+
+    def _expand_adaptive(
+        self,
+        primary: GroupCandidate,
+        candidates: list[GroupCandidate],
+        k: int,
+        factor: int,
+    ) -> list[tuple[GroupEntry, TrieNode]]:
+        """CLIMBER-kNN-Adaptive node expansion.
+
+        Starting from the primary GN, add memorised runner-up nodes (other
+        best-OD groups' GNs first, then ancestors, deepest first) until the
+        estimated record count covers k, keeping the partition budget at
+        ``factor`` times CLIMBER-kNN's partition count.
+        """
+        budget = factor * max(1, len(primary.gn.partition_ids))
+        selected: list[tuple[GroupEntry, TrieNode]] = [(primary.entry, primary.gn)]
+        selected_pids = set(
+            (primary.entry.group_id, pid) for pid in primary.gn.partition_ids
+        )
+        total = primary.gn.count
+
+        pool: list[tuple[int, float, int, GroupCandidate, TrieNode]] = []
+        for cand in candidates:
+            for node in reversed(cand.path):
+                pool.append((cand.od, cand.wd, -node.depth, cand, node))
+        pool.sort(key=lambda item: (item[0], item[1], item[2], item[3].entry.group_id))
+
+        for _, _, _, cand, node in pool:
+            if total >= k:
+                break
+            if self._covered(selected, cand.entry, node):
+                continue
+            new_pids = selected_pids | {
+                (cand.entry.group_id, pid) for pid in node.partition_ids
+            }
+            if len(new_pids) > budget:
+                continue
+            added = node.count - sum(
+                n.count
+                for e, n in selected
+                if e.group_id == cand.entry.group_id
+                and n.path[: node.depth] == node.path
+            )
+            selected = [
+                (e, n)
+                for e, n in selected
+                if not (
+                    e.group_id == cand.entry.group_id
+                    and n.path[: node.depth] == node.path
+                )
+            ]
+            selected.append((cand.entry, node))
+            selected_pids = new_pids
+            total += max(0.0, added)
+        return selected
+
+    @staticmethod
+    def _covered(
+        selected: list[tuple[GroupEntry, TrieNode]],
+        entry: GroupEntry,
+        node: TrieNode,
+    ) -> bool:
+        """True if ``node`` lies inside an already-selected subtree."""
+        for e, n in selected:
+            if e.group_id == entry.group_id and node.path[: n.depth] == n.path:
+                return True
+        return False
+
+    # -- record-level search ------------------------------------------------------------
+
+    def _target_keys(self, entry: GroupEntry, node: TrieNode) -> list[str]:
+        """Header keys of the record clusters under a selected trie node.
+
+        An *internal* selection also covers the group's default cluster:
+        records whose signatures could not complete a root-to-leaf walk
+        stalled at some internal node — exactly like the query that
+        selected this node did — so they are candidates too.
+        """
+        keys = [cluster_key(entry.group_id, leaf.path) for leaf in node.leaves()]
+        if not node.is_leaf or node.depth == 0:
+            keys.append(cluster_key(entry.group_id, None))
+        return keys
+
+    def _partition_scan_cost(self, part) -> TaskCost:
+        """Declared cost of loading + ED-scanning one partition at paper scale.
+
+        With ``sim_partition_bytes`` set, a touched partition is one storage
+        block (the paper's query granularity); otherwise the scaled bytes
+        are multiplied by ``cost_scale``.
+        """
+        cfg = self.config
+        if cfg.sim_partition_bytes is not None:
+            from repro.series import series_nbytes
+
+            block_records = max(
+                1, cfg.sim_partition_bytes // series_nbytes(part.series_length)
+            )
+            return TaskCost(
+                read_bytes=cfg.sim_partition_bytes,
+                cpu_ops=block_records * ops_euclidean(part.series_length),
+            )
+        return TaskCost(
+            read_bytes=int(part.nbytes * cfg.cost_scale),
+            cpu_ops=int(
+                part.record_count * ops_euclidean(part.series_length) * cfg.cost_scale
+            ),
+        )
+
+    def knn(
+        self,
+        query: np.ndarray,
+        k: int,
+        variant: str = "adaptive",
+        adaptive_factor: int | None = None,
+    ) -> QueryResult:
+        """Approximate kNN query (Def. 4).
+
+        Parameters
+        ----------
+        query:
+            A raw series of the indexed length (z-normalised like the data).
+        k:
+            Number of neighbours.
+        variant:
+            ``"knn"``, ``"adaptive"`` or ``"od-smallest"`` (see module doc).
+        adaptive_factor:
+            Partition-budget multiplier override (2 for -2X, 4 for -4X);
+            defaults to ``config.adaptive_factor``.
+        """
+        if k < 1:
+            raise ConfigurationError("k must be >= 1")
+        if variant not in ("knn", "adaptive", "od-smallest"):
+            raise ConfigurationError(f"unknown variant {variant!r}")
+        t0 = time.perf_counter()
+        sim = ClusterSimulator(self.model)
+        scale = self.config.cost_scale
+        cfg = self.config
+
+        ranked = self.query_signature(query)
+        od_slack = 1 if variant == "adaptive" else 0
+        candidates = self.group_candidates(ranked, od_slack=od_slack)
+        primary = self.select_primary(candidates)
+
+        # Driver-side routing: signature of one query object plus a linear
+        # scan of the group list.  Independent of the data volume, so it is
+        # *not* scaled by cost_scale (the group list itself grows only with
+        # the signature space, paper §VII-B).
+        sim.run_driver_step(
+            "query/route",
+            TaskCost(
+                cpu_ops=int(
+                    ops_signature(cfg.n_pivots, cfg.word_length, cfg.prefix_length)
+                    + self.n_groups * cfg.prefix_length * 8
+                )
+            ),
+        )
+
+        if variant == "od-smallest":
+            selected = [
+                (c.entry, c.entry.trie) for c in candidates
+            ]
+        elif variant == "adaptive":
+            factor = adaptive_factor or cfg.adaptive_factor
+            if primary.gn.count >= k:
+                selected = [(primary.entry, primary.gn)]
+            else:
+                selected = self._expand_adaptive(primary, candidates, k, factor)
+        else:
+            selected = [(primary.entry, primary.gn)]
+
+        # Partitions covering the selected nodes.
+        to_load: dict[str, list[str]] = {}
+        for entry, node in selected:
+            pids = set(node.partition_ids)
+            if not node.is_leaf or node.depth == 0:
+                pids.add(entry.default_partition)
+            keys = self._target_keys(entry, node)
+            for pid in sorted(pids):
+                to_load.setdefault(partition_name(pid), []).extend(keys)
+
+        ids_parts: list[np.ndarray] = []
+        val_parts: list[np.ndarray] = []
+        loaded = []
+        data_bytes = 0
+        scan_costs = []
+        fallback_pool: list[tuple[np.ndarray, np.ndarray]] = []
+        for pname in sorted(to_load):
+            wanted = set(to_load[pname])
+            # Base partition plus any delta partitions appended later.
+            physical = ([pname] if self.dfs.has_partition(pname) else [])
+            physical += self._delta_names(pname)
+            for actual in physical:
+                part = self.dfs.read_partition(actual)
+                loaded.append(actual)
+                data_bytes += part.nbytes
+                for key in part.cluster_keys():
+                    if key in wanted:
+                        cid, cval = part.read_cluster(key)
+                        ids_parts.append(cid)
+                        val_parts.append(cval)
+                # Remember the rest of the partition for the within-partition
+                # expansion CLIMBER-kNN applies when the node is too small.
+                other_keys = [
+                    key for key in part.cluster_keys() if key not in wanted
+                ]
+                if other_keys:
+                    fallback_pool.append(part.read_clusters(other_keys))
+                scan_costs.append(self._partition_scan_cost(part))
+
+        n_targeted = int(sum(p.shape[0] for p in ids_parts))
+        expanded = False
+        if n_targeted < k and fallback_pool:
+            expanded = True
+            for cid, cval in fallback_pool:
+                ids_parts.append(cid)
+                val_parts.append(cval)
+
+        if ids_parts:
+            all_ids = np.concatenate(ids_parts)
+            all_vals = np.vstack(val_parts)
+            ids, dists = knn_bruteforce(query, all_vals, all_ids, k)
+            examined = int(all_ids.shape[0])
+        else:
+            ids = np.empty(0, dtype=np.int64)
+            dists = np.empty(0, dtype=np.float64)
+            examined = 0
+
+        sim.run_stage("query/scan", scan_costs)
+        report = sim.fresh_report()
+        stats = QueryStats(
+            variant=variant,
+            k=k,
+            best_od=primary.od,
+            group_ids=tuple(c.entry.group_id for c in candidates),
+            path_len=primary.path_len,
+            gn_size=primary.gn.count,
+            n_selected_nodes=len(selected),
+            partitions_loaded=tuple(loaded),
+            data_bytes=data_bytes,
+            records_examined=examined,
+            expanded_within_partition=expanded,
+            sim_seconds=report.total_seconds,
+            wall_seconds=time.perf_counter() - t0,
+        )
+        return QueryResult(ids, dists, stats)

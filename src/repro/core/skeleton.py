@@ -1,0 +1,195 @@
+"""The CLIMBER-INX index skeleton (paper Fig. 5).
+
+The skeleton is the small driver-resident structure produced by
+construction Steps 1-3 and broadcast to every worker in Step 4: the list
+of groups (each with its rank-insensitive centroid, its partition trie and
+its default partition) plus the pivot matrix.  Its serialised size is the
+"global index size (MB)" metric of Figures 8 and 12.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.trie import DEFAULT_CLUSTER_SUFFIX, TrieNode
+from repro.exceptions import ConfigurationError, StorageError
+from repro.storage.serialization import (
+    array_from_bytes,
+    array_to_bytes,
+    json_from_bytes,
+    json_to_bytes,
+    read_blob,
+    write_blob,
+)
+
+__all__ = ["GroupEntry", "IndexSkeleton", "partition_name", "cluster_key"]
+
+
+def partition_name(pid: int) -> str:
+    """DFS name of physical partition ``pid`` (beta_i in paper Fig. 5)."""
+    return f"beta{pid}"
+
+
+def cluster_key(group_id: int, path: tuple[int, ...] | None) -> str:
+    """Header key of a trie node's record cluster inside a partition.
+
+    ``path=None`` denotes the group's default cluster (records whose
+    signature could not complete a root-to-leaf walk).
+    """
+    if path is None:
+        return f"G{group_id}/{DEFAULT_CLUSTER_SUFFIX}"
+    if not path:
+        return f"G{group_id}"
+    return f"G{group_id}/" + "/".join(str(p) for p in path)
+
+
+@dataclass
+class GroupEntry:
+    """One first-level entry of the skeleton (a data series group)."""
+
+    group_id: int
+    centroid: tuple[int, ...]
+    trie: TrieNode
+    default_partition: int
+    est_size: float
+
+    @property
+    def is_fallback(self) -> bool:
+        """True for the special group G0 with centroid ``<*,*,...>``."""
+        return not self.centroid
+
+
+@dataclass
+class IndexSkeleton:
+    """Groups + tries + partition directory; serialisable and broadcastable."""
+
+    prefix_length: int
+    n_pivots: int
+    word_length: int
+    groups: list[GroupEntry] = field(default_factory=list)
+    n_partitions: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.groups:
+            return
+        if self.groups[0].centroid != ():
+            raise ConfigurationError("group 0 must be the fall-back group")
+
+    @property
+    def centroids(self) -> list[tuple[int, ...]]:
+        """Real centroids, in group order (excludes the fall-back G0)."""
+        return [g.centroid for g in self.groups[1:]]
+
+    def group(self, group_id: int) -> GroupEntry:
+        if not 0 <= group_id < len(self.groups):
+            raise ConfigurationError(f"no group {group_id}")
+        return self.groups[group_id]
+
+    def total_trie_nodes(self) -> int:
+        return sum(g.trie.node_count() for g in self.groups)
+
+    # -- serialisation ----------------------------------------------------------
+    #
+    # Tries serialise to nested lists: [pivot, count, partition_ids_if_leaf,
+    # [children...]].  Internal nodes recompute their id unions on load.
+
+    @staticmethod
+    def _trie_to_obj(node: TrieNode) -> list:
+        children = [
+            IndexSkeleton._trie_to_obj(node.children[p])
+            for p in sorted(node.children)
+        ]
+        pids = sorted(node.partition_ids) if node.is_leaf else []
+        return [node.pivot, round(node.count, 3), pids, children]
+
+    @staticmethod
+    def _trie_from_obj(obj: list, path: tuple[int, ...]) -> TrieNode:
+        pivot, count, pids, children = obj
+        node = TrieNode(pivot, path, count)
+        node.partition_ids = set(int(p) for p in pids)
+        for child_obj in children:
+            child = IndexSkeleton._trie_from_obj(
+                child_obj, path + (int(child_obj[0]),)
+            )
+            node.children[child.pivot] = child
+        return node
+
+    def to_bytes(self) -> bytes:
+        buf = io.BytesIO()
+        meta = {
+            "prefix_length": self.prefix_length,
+            "n_pivots": self.n_pivots,
+            "word_length": self.word_length,
+            "n_partitions": self.n_partitions,
+            "groups": [
+                {
+                    "id": g.group_id,
+                    "centroid": list(g.centroid),
+                    "default": g.default_partition,
+                    "est_size": round(g.est_size, 3),
+                    "trie": self._trie_to_obj(g.trie),
+                }
+                for g in self.groups
+            ],
+        }
+        write_blob(buf, json_to_bytes(meta))
+        return buf.getvalue()
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "IndexSkeleton":
+        buf = io.BytesIO(data)
+        meta = json_from_bytes(read_blob(buf))
+        if not isinstance(meta, dict):
+            raise StorageError("malformed skeleton payload")
+        groups = []
+        for g in meta["groups"]:
+            trie = cls._trie_from_obj(g["trie"], ())
+            trie.finalize_partitions()
+            groups.append(
+                GroupEntry(
+                    group_id=int(g["id"]),
+                    centroid=tuple(int(p) for p in g["centroid"]),
+                    trie=trie,
+                    default_partition=int(g["default"]),
+                    est_size=float(g["est_size"]),
+                )
+            )
+        return cls(
+            prefix_length=int(meta["prefix_length"]),
+            n_pivots=int(meta["n_pivots"]),
+            word_length=int(meta["word_length"]),
+            groups=groups,
+            n_partitions=int(meta["n_partitions"]),
+        )
+
+    @property
+    def nbytes(self) -> int:
+        """Serialised size — the paper's "global index size" metric."""
+        return len(self.to_bytes())
+
+
+@dataclass
+class SkeletonWithPivots:
+    """What actually gets broadcast in Step 4: skeleton + pivot matrix."""
+
+    skeleton: IndexSkeleton
+    pivots: np.ndarray
+
+    def to_bytes(self) -> bytes:
+        buf = io.BytesIO()
+        write_blob(buf, self.skeleton.to_bytes())
+        write_blob(buf, array_to_bytes(self.pivots))
+        return buf.getvalue()
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "SkeletonWithPivots":
+        buf = io.BytesIO(data)
+        skeleton = IndexSkeleton.from_bytes(read_blob(buf))
+        pivots = array_from_bytes(read_blob(buf))
+        return cls(skeleton, pivots)
+
+
+__all__.append("SkeletonWithPivots")

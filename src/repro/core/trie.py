@@ -1,0 +1,171 @@
+"""Trie-based partition formation within a data series group (§IV-D).
+
+A group bigger than the capacity constraint ``c`` is split by the *first*
+pivot of its members' rank-sensitive signatures; any child still over
+capacity splits again by the second pivot, and so on (paper Fig. 5).  The
+resulting leaves are Voronoi-style partitions: a leaf's root-to-leaf path
+is the pivot-permutation prefix shared by everything stored under it.
+
+Counts here are *estimates* at full-data scale (sample frequency divided by
+the sampling fraction), since the skeleton is built from a sample.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["TrieNode", "build_group_trie", "DEFAULT_CLUSTER_SUFFIX"]
+
+DEFAULT_CLUSTER_SUFFIX = "~"
+"""Cluster-key suffix for records that cannot complete a root-to-leaf walk
+and therefore live in the group's default partition (§V Step 3)."""
+
+
+class TrieNode:
+    """One node of a group's partition trie.
+
+    Attributes
+    ----------
+    pivot:
+        The pivot id on the edge from the parent (``None`` at the root).
+    path:
+        Pivot ids from the root to this node — the node's permutation
+        prefix.
+    count:
+        Estimated number of records (full-data scale) in this subtree.
+    children:
+        ``pivot id -> TrieNode``; empty for leaves.
+    partition_ids:
+        Physical partitions covering this subtree: a single id at leaves,
+        the union of the subtree at internal nodes (paper Fig. 5).
+    """
+
+    __slots__ = ("pivot", "path", "count", "children", "partition_ids")
+
+    def __init__(
+        self, pivot: int | None, path: tuple[int, ...], count: float
+    ) -> None:
+        self.pivot = pivot
+        self.path = path
+        self.count = float(count)
+        self.children: dict[int, TrieNode] = {}
+        self.partition_ids: set[int] = set()
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    @property
+    def depth(self) -> int:
+        return len(self.path)
+
+    def leaves(self) -> Iterator["TrieNode"]:
+        """Yield leaves of this subtree in sorted pivot order."""
+        if self.is_leaf:
+            yield self
+            return
+        for pivot in sorted(self.children):
+            yield from self.children[pivot].leaves()
+
+    def descend(self, ranked_sig: Sequence[int]) -> "TrieNode":
+        """Deepest node reachable by following the signature (Algorithm 3 L11)."""
+        node = self
+        for pivot in ranked_sig:
+            child = node.children.get(int(pivot))
+            if child is None:
+                return node
+            node = child
+        return node
+
+    def descend_path(self, ranked_sig: Sequence[int]) -> list["TrieNode"]:
+        """All nodes visited on the walk, root first, deepest last."""
+        nodes = [self]
+        node = self
+        for pivot in ranked_sig:
+            child = node.children.get(int(pivot))
+            if child is None:
+                break
+            node = child
+            nodes.append(node)
+        return nodes
+
+    def subtree_partition_ids(self) -> set[int]:
+        """Recompute the union of leaf partition ids (used after packing)."""
+        if self.is_leaf:
+            return set(self.partition_ids)
+        out: set[int] = set()
+        for child in self.children.values():
+            out |= child.subtree_partition_ids()
+        return out
+
+    def finalize_partitions(self) -> None:
+        """Propagate leaf partition ids up to every internal node."""
+        if not self.is_leaf:
+            for child in self.children.values():
+                child.finalize_partitions()
+            self.partition_ids = self.subtree_partition_ids()
+
+    def node_count(self) -> int:
+        return 1 + sum(c.node_count() for c in self.children.values())
+
+    def __repr__(self) -> str:
+        kind = "leaf" if self.is_leaf else f"{len(self.children)} children"
+        return f"TrieNode(path={self.path}, count={self.count:.0f}, {kind})"
+
+
+def build_group_trie(
+    signatures: Sequence[tuple[int, ...]],
+    counts: Sequence[float],
+    capacity: float,
+) -> TrieNode:
+    """Build the partition trie of one group (paper Fig. 5).
+
+    Parameters
+    ----------
+    signatures:
+        Distinct rank-sensitive signatures of the group's (sampled) members.
+    counts:
+        Estimated full-scale record count per signature.
+    capacity:
+        Capacity constraint ``c`` (records).  Nodes above it keep splitting
+        while signature positions remain.
+
+    Returns
+    -------
+    TrieNode
+        The group's trie root.  A group within capacity yields a root-leaf.
+    """
+    if len(signatures) != len(counts):
+        raise ConfigurationError("signatures and counts length mismatch")
+    if capacity <= 0:
+        raise ConfigurationError("capacity must be positive")
+    total = float(sum(counts))
+    root = TrieNode(None, (), total)
+    if not signatures:
+        return root
+    prefix_len = len(signatures[0])
+    _split(root, list(zip(signatures, (float(c) for c in counts))), capacity, prefix_len)
+    return root
+
+
+def _split(
+    node: TrieNode,
+    members: list[tuple[tuple[int, ...], float]],
+    capacity: float,
+    prefix_len: int,
+) -> None:
+    """Recursively split ``node`` while it exceeds capacity (Fig. 5)."""
+    if node.count <= capacity or node.depth >= prefix_len:
+        return
+    buckets: dict[int, list[tuple[tuple[int, ...], float]]] = {}
+    for sig, cnt in members:
+        buckets.setdefault(int(sig[node.depth]), []).append((sig, cnt))
+    if len(buckets) <= 0:
+        return
+    for pivot in sorted(buckets):
+        subset = buckets[pivot]
+        child = TrieNode(pivot, node.path + (pivot,), sum(c for _, c in subset))
+        node.children[pivot] = child
+        _split(child, subset, capacity, prefix_len)

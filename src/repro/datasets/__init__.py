@@ -1,0 +1,44 @@
+"""Workload generators standing in for the paper's four datasets.
+
+See DESIGN.md §1 for the substitution rationale: each generator produces
+series of the paper's length with the geometric structure (clusters,
+repeats, bursts) that drives the index behaviour under evaluation.
+"""
+
+from repro.datasets.dna import (
+    BASE_STEPS,
+    PAPER_DNA_LENGTH,
+    dna_dataset,
+    dna_series_from_bases,
+)
+from repro.datasets.eeg import EEG_SAMPLE_RATE_HZ, PAPER_EEG_LENGTH, eeg_dataset
+from repro.datasets.randomwalk import PAPER_RANDOMWALK_LENGTH, random_walk_dataset
+from repro.datasets.registry import (
+    DATASET_NAMES,
+    PAPER_LENGTHS,
+    count_to_gb,
+    gb_to_count,
+    make_dataset,
+    sample_queries,
+)
+from repro.datasets.texmex import PAPER_TEXMEX_LENGTH, texmex_like_dataset
+
+__all__ = [
+    "random_walk_dataset",
+    "texmex_like_dataset",
+    "dna_dataset",
+    "dna_series_from_bases",
+    "eeg_dataset",
+    "make_dataset",
+    "sample_queries",
+    "gb_to_count",
+    "count_to_gb",
+    "DATASET_NAMES",
+    "PAPER_LENGTHS",
+    "PAPER_RANDOMWALK_LENGTH",
+    "PAPER_TEXMEX_LENGTH",
+    "PAPER_DNA_LENGTH",
+    "PAPER_EEG_LENGTH",
+    "EEG_SAMPLE_RATE_HZ",
+    "BASE_STEPS",
+]

@@ -1,0 +1,57 @@
+"""RandomWalk benchmark generator.
+
+The RandomWalk benchmark (cumulative sums of unit Gaussian steps) is the
+standard data-series indexing benchmark used by iSAX, TARDIS, DPiSAX and
+the paper itself ("this dataset contains up to 1 billion data series, each
+having 256 points").  We generate scaled-down versions of it with the same
+statistical structure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.series import SeriesDataset, znormalize
+
+__all__ = ["random_walk_dataset", "PAPER_RANDOMWALK_LENGTH"]
+
+PAPER_RANDOMWALK_LENGTH = 256
+"""Series length used by the paper's RandomWalk experiments."""
+
+
+def random_walk_dataset(
+    count: int,
+    length: int = PAPER_RANDOMWALK_LENGTH,
+    *,
+    seed: int = 0,
+    normalize: bool = True,
+    chunk_rows: int = 100_000,
+) -> SeriesDataset:
+    """Generate ``count`` random-walk series of ``length`` points.
+
+    Each series is the cumulative sum of i.i.d. N(0, 1) steps,
+    z-normalised by default (the conventional preprocessing for
+    data-series indexes).
+
+    Parameters
+    ----------
+    count, length:
+        Dataset dimensions (Def. 2).
+    seed:
+        Seed for the underlying :class:`numpy.random.Generator`.
+    normalize:
+        Apply per-series z-normalisation.
+    chunk_rows:
+        Generation chunk size, bounding peak temporary memory.
+    """
+    if count < 1 or length < 2:
+        raise ConfigurationError("count must be >= 1 and length >= 2")
+    rng = np.random.default_rng(seed)
+    out = np.empty((count, length), dtype=np.float64)
+    for start in range(0, count, chunk_rows):
+        stop = min(start + chunk_rows, count)
+        steps = rng.standard_normal((stop - start, length))
+        walks = np.cumsum(steps, axis=1)
+        out[start:stop] = znormalize(walks) if normalize else walks
+    return SeriesDataset(out, name="RandomWalk")

@@ -1,0 +1,95 @@
+"""Dataset registry, query sampling, and paper-scale conversions.
+
+The benchmark harness addresses datasets by the names the paper uses
+(``RandomWalk``, ``TexMex``, ``DNA``, ``EEG``) and sizes by "GB
+equivalents": the paper's x-axes are dataset sizes in GB, so we provide
+the conversion between our scaled-down record counts and those axes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.series import SeriesDataset, series_nbytes
+
+from repro.datasets.dna import PAPER_DNA_LENGTH, dna_dataset
+from repro.datasets.eeg import PAPER_EEG_LENGTH, eeg_dataset
+from repro.datasets.randomwalk import PAPER_RANDOMWALK_LENGTH, random_walk_dataset
+from repro.datasets.texmex import PAPER_TEXMEX_LENGTH, texmex_like_dataset
+
+__all__ = [
+    "DATASET_NAMES",
+    "PAPER_LENGTHS",
+    "make_dataset",
+    "sample_queries",
+    "gb_to_count",
+    "count_to_gb",
+]
+
+DATASET_NAMES = ("RandomWalk", "TexMex", "DNA", "EEG")
+
+PAPER_LENGTHS = {
+    "RandomWalk": PAPER_RANDOMWALK_LENGTH,
+    "TexMex": PAPER_TEXMEX_LENGTH,
+    "DNA": PAPER_DNA_LENGTH,
+    "EEG": PAPER_EEG_LENGTH,
+}
+
+_FACTORIES: dict[str, Callable[..., SeriesDataset]] = {
+    "RandomWalk": random_walk_dataset,
+    "TexMex": texmex_like_dataset,
+    "DNA": dna_dataset,
+    "EEG": eeg_dataset,
+}
+
+
+def make_dataset(
+    name: str, count: int, length: int | None = None, *, seed: int = 0
+) -> SeriesDataset:
+    """Build one of the paper's four datasets by name.
+
+    ``length`` defaults to the length the paper uses for that dataset.
+    """
+    if name not in _FACTORIES:
+        raise ConfigurationError(
+            f"unknown dataset {name!r}; expected one of {DATASET_NAMES}"
+        )
+    return _FACTORIES[name](count, length or PAPER_LENGTHS[name], seed=seed)
+
+
+def sample_queries(
+    dataset: SeriesDataset, n_queries: int, *, seed: int = 1
+) -> SeriesDataset:
+    """Sample query objects from a dataset.
+
+    The paper's protocol: "the query objects are randomly selected from the
+    entire dataset" and results averaged over 50 queries.
+    """
+    if n_queries < 1:
+        raise ConfigurationError("n_queries must be >= 1")
+    if n_queries > dataset.count:
+        raise ConfigurationError(
+            f"cannot draw {n_queries} queries from {dataset.count} series"
+        )
+    rng = np.random.default_rng(seed)
+    idx = rng.choice(dataset.count, size=n_queries, replace=False)
+    return dataset.take(np.sort(idx), name=f"{dataset.name}[queries]")
+
+
+def gb_to_count(size_gb: float, length: int) -> int:
+    """Number of series of ``length`` points occupying ``size_gb`` gigabytes.
+
+    Used to translate the paper's x-axes (200 GB .. 1.5 TB) into record
+    counts for the cluster cost model.
+    """
+    if size_gb <= 0:
+        raise ConfigurationError("size_gb must be positive")
+    return max(1, int(size_gb * 1e9 / series_nbytes(length)))
+
+
+def count_to_gb(count: int, length: int) -> float:
+    """Gigabytes occupied by ``count`` series of ``length`` points."""
+    return count * series_nbytes(length) / 1e9

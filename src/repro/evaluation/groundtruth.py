@@ -1,0 +1,57 @@
+"""Exact ground truth for recall measurement (Def. 4).
+
+The paper measures accuracy as recall against the exact answer set
+produced by Dss.  Computing ground truth for a batch of queries is a
+chunked brute-force scan; results are cached per (dataset, queries, k)
+inside one process so repeated bench configurations stay cheap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.series import SeriesDataset, knn_bruteforce
+
+__all__ = ["GroundTruth", "exact_ground_truth"]
+
+
+class GroundTruth:
+    """Exact kNN id sets for a query batch."""
+
+    def __init__(self, query_ids: np.ndarray, neighbor_ids: list[np.ndarray], k: int):
+        self.query_ids = query_ids
+        self._neighbors = neighbor_ids
+        self.k = k
+
+    def __len__(self) -> int:
+        return len(self._neighbors)
+
+    def neighbors_of(self, query_index: int) -> np.ndarray:
+        """Exact neighbour ids of the ``query_index``-th query."""
+        return self._neighbors[query_index]
+
+    def recall_of(self, query_index: int, approx_ids: np.ndarray) -> float:
+        """Recall (Def. 4) of one approximate answer set."""
+        exact = set(self.neighbors_of(query_index).tolist())
+        got = set(np.asarray(approx_ids).tolist())
+        if not exact:
+            return 1.0
+        return len(exact & got) / len(exact)
+
+
+def exact_ground_truth(
+    dataset: SeriesDataset, queries: SeriesDataset, k: int
+) -> GroundTruth:
+    """Exact k nearest neighbours of every query in ``queries``.
+
+    Ties at the k-th distance are broken by id (deterministic), matching
+    :func:`repro.series.knn_bruteforce`.
+    """
+    if k < 1:
+        raise ConfigurationError("k must be >= 1")
+    neighbors = [
+        knn_bruteforce(q, dataset.values, dataset.ids, k)[0]
+        for q in queries.values
+    ]
+    return GroundTruth(queries.ids.copy(), neighbors, k)

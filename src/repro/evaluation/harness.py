@@ -1,0 +1,83 @@
+"""Experiment harness shared by every benchmark.
+
+Runs a query workload through any system exposing ``knn(query, k)`` and
+aggregates the paper's metrics: recall, simulated query time, partitions
+touched, and data accessed.  Every benchmark file builds on this so its
+body reads like the experiment description in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.evaluation.groundtruth import GroundTruth
+from repro.series import SeriesDataset
+
+__all__ = ["SystemEvaluation", "evaluate_system"]
+
+KnnFn = Callable[[np.ndarray, int], object]
+
+
+@dataclass(frozen=True)
+class SystemEvaluation:
+    """Aggregated query metrics of one system on one workload."""
+
+    system: str
+    k: int
+    n_queries: int
+    recall: float
+    sim_seconds: float
+    wall_seconds: float
+    partitions: float
+    records_examined: float
+    data_bytes: float
+
+    def row(self) -> dict[str, object]:
+        """Flat dict for table rendering / CSV export."""
+        return {
+            "system": self.system,
+            "k": self.k,
+            "recall": round(self.recall, 3),
+            "query_sim_s": round(self.sim_seconds, 2),
+            "partitions": round(self.partitions, 2),
+            "records": int(self.records_examined),
+            "data_mb": round(self.data_bytes / 1e6, 2),
+        }
+
+
+def evaluate_system(
+    name: str,
+    knn_fn: KnnFn,
+    queries: SeriesDataset,
+    truth: GroundTruth,
+    k: int,
+) -> SystemEvaluation:
+    """Run every query, compare to ground truth, average the metrics.
+
+    ``knn_fn`` must return an object with ``ids`` and ``stats`` attributes
+    (both :class:`~repro.core.index.QueryResult` and
+    :class:`~repro.baselines.common.BaselineResult` qualify).
+    """
+    recalls, sims, walls, parts, recs, data = [], [], [], [], [], []
+    for qi, q in enumerate(queries.values):
+        res = knn_fn(q, k)
+        recalls.append(truth.recall_of(qi, res.ids))
+        sims.append(res.stats.sim_seconds)
+        walls.append(res.stats.wall_seconds)
+        parts.append(res.stats.n_partitions)
+        recs.append(res.stats.records_examined)
+        data.append(res.stats.data_bytes)
+    return SystemEvaluation(
+        system=name,
+        k=k,
+        n_queries=queries.count,
+        recall=float(np.mean(recalls)),
+        sim_seconds=float(np.mean(sims)),
+        wall_seconds=float(np.mean(walls)),
+        partitions=float(np.mean(parts)),
+        records_examined=float(np.mean(recs)),
+        data_bytes=float(np.mean(data)),
+    )

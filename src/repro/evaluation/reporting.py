@@ -1,0 +1,64 @@
+"""ASCII table rendering and CSV export for benchmark results.
+
+Every benchmark prints its figure/table as rows comparing the paper's
+reported values with our measured (or simulated) values, and optionally
+writes the same rows to ``results/*.csv`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Mapping, Sequence
+
+__all__ = ["render_table", "write_csv", "fmt_duration"]
+
+
+def fmt_duration(seconds: float) -> str:
+    """Human formatting matching the paper's units (sec below 100, else min)."""
+    if seconds != seconds:  # NaN
+        return "X"
+    if seconds < 100:
+        return f"{seconds:.1f}s"
+    return f"{seconds / 60:.1f}m"
+
+
+def render_table(
+    title: str,
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+) -> str:
+    """Render rows as a fixed-width ASCII table with a title rule."""
+    if not rows:
+        return f"== {title} ==\n(no rows)"
+    cols = list(columns) if columns else list(rows[0].keys())
+    cells = [[str(r.get(c, "")) for c in cols] for r in rows]
+    widths = [
+        max(len(c), *(len(row[i]) for row in cells)) for i, c in enumerate(cols)
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    header = " | ".join(c.ljust(w) for c, w in zip(cols, widths))
+    body = "\n".join(
+        " | ".join(cell.ljust(w) for cell, w in zip(row, widths)) for row in cells
+    )
+    return f"== {title} ==\n{header}\n{sep}\n{body}"
+
+
+def write_csv(
+    path: str | Path,
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+) -> Path:
+    """Write rows to CSV, creating parent directories as needed."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if not rows:
+        path.write_text("")
+        return path
+    cols = list(columns) if columns else list(rows[0].keys())
+    with path.open("w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=cols, extrasaction="ignore")
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)
+    return path

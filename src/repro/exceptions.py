@@ -1,0 +1,48 @@
+"""Exception hierarchy for the CLIMBER reproduction.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch everything raised by this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration value is out of range or inconsistent."""
+
+
+class DimensionalityError(ReproError):
+    """An array does not have the shape an operation requires."""
+
+
+class IndexNotBuiltError(ReproError):
+    """A query was issued against an index that has not been built yet."""
+
+
+class StorageError(ReproError):
+    """The simulated distributed file system rejected an operation."""
+
+
+class PartitionNotFoundError(StorageError):
+    """A partition id does not exist in the simulated DFS."""
+
+
+class MemoryBudgetExceeded(ReproError):
+    """An in-memory system was asked to hold more data than its budget.
+
+    Used by the Odyssey and HNSW baselines to reproduce the ``X`` (did not
+    run) cells of Table I: those systems require the data set and index to
+    fit in main memory, and fail otherwise.
+    """
+
+    def __init__(self, required_bytes: int, budget_bytes: int) -> None:
+        self.required_bytes = required_bytes
+        self.budget_bytes = budget_bytes
+        super().__init__(
+            f"dataset requires {required_bytes} bytes but the memory budget "
+            f"is {budget_bytes} bytes"
+        )

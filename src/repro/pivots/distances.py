@@ -1,0 +1,231 @@
+"""Similarity metrics over P4 signatures.
+
+CLIMBER's new metrics (Section IV-C):
+
+* **Overlap Distance** (Def. 7) between rank-insensitive signatures —
+  prefix length minus intersection cardinality; the primary metric for
+  group assignment and group search.
+* **Pivot weights / Total Weight / Weight Distance** (Defs. 9-11) — a
+  secondary, rank-aware metric used only to break Overlap-Distance ties:
+  pivots earlier in a rank-sensitive signature get larger decay weights,
+  and the Weight Distance discounts a centroid by the weights of the
+  object's pivots it contains.
+
+Also provided: Spearman footrule and Kendall tau over full permutations,
+the classic rank-sensitive metrics of the pivot-permutation literature [37]
+that the paper argues *cannot* compare signatures of different
+granularities — kept for tests and the related-work comparisons.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Literal
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.pivots.signatures import pack_pivot_sets, words_for
+
+__all__ = [
+    "overlap_distance",
+    "overlap_distance_matrix",
+    "decay_weights",
+    "total_weight",
+    "weight_distance",
+    "weight_distance_matrix",
+    "spearman_footrule",
+    "kendall_tau",
+    "DecayKind",
+]
+
+DecayKind = Literal["exponential", "linear"]
+
+
+# ---------------------------------------------------------------------------
+# Overlap Distance (Def. 7)
+# ---------------------------------------------------------------------------
+
+def overlap_distance(sig_x: Iterable[int], sig_y: Iterable[int]) -> int:
+    """Overlap Distance between two rank-insensitive signatures (Def. 7).
+
+    ``OD(X, Y) = m - |P4(X) ∩ P4(Y)|`` where ``m`` is the prefix length.
+    Lies in ``[0, m]``; 0 means identical pivot sets.
+
+    >>> overlap_distance((1, 3, 6, 8), (2, 3, 4, 6))
+    2
+    """
+    xs = set(int(p) for p in sig_x)
+    ys = set(int(p) for p in sig_y)
+    if len(xs) != len(ys):
+        raise ConfigurationError(
+            f"signatures must share one prefix length, got {len(xs)} and {len(ys)}"
+        )
+    return len(xs) - len(xs & ys)
+
+
+def overlap_distance_matrix(
+    packed_objects: np.ndarray, packed_centroids: np.ndarray, prefix_length: int
+) -> np.ndarray:
+    """Batch Overlap Distances between packed pivot sets.
+
+    Parameters
+    ----------
+    packed_objects, packed_centroids:
+        ``(d, words)`` and ``(k, words)`` uint64 bitsets from
+        :func:`repro.pivots.signatures.pack_pivot_sets`.
+    prefix_length:
+        The common signature length ``m``.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(d, k)`` uint16 matrix of Overlap Distances.
+    """
+    a = np.asarray(packed_objects, dtype=np.uint64)
+    b = np.asarray(packed_centroids, dtype=np.uint64)
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[1]:
+        raise ConfigurationError("packed signature word counts differ")
+    inter = np.bitwise_count(a[:, None, :] & b[None, :, :]).sum(
+        axis=2, dtype=np.uint16
+    )
+    return (np.uint16(prefix_length) - inter).astype(np.uint16)
+
+
+# ---------------------------------------------------------------------------
+# Pivot weights (Defs. 9-11)
+# ---------------------------------------------------------------------------
+
+def decay_weights(
+    prefix_length: int,
+    kind: DecayKind = "exponential",
+    decay_rate: float | None = None,
+) -> np.ndarray:
+    """Per-rank pivot weights (Def. 9).
+
+    The i-th entry (0-based) is the weight of the (i+1)-th nearest pivot.
+    Exponential decay: ``lambda**i`` with default ``lambda = 1/2`` (the
+    paper's worked Example 1).  Linear decay: ``lambda * (m - i)`` with
+    ``lambda = 1/m``, i.e. ``[1, (m-1)/m, ..., 1/m]``.
+
+    Weights are strictly decreasing, as Def. 9 requires.
+    """
+    m = int(prefix_length)
+    if m < 1:
+        raise ConfigurationError("prefix_length must be >= 1")
+    ranks = np.arange(m, dtype=np.float64)
+    if kind == "exponential":
+        lam = 0.5 if decay_rate is None else float(decay_rate)
+        if not 0.0 < lam < 1.0:
+            raise ConfigurationError("exponential decay_rate must be in (0, 1)")
+        return lam**ranks
+    if kind == "linear":
+        lam = (1.0 / m) if decay_rate is None else float(decay_rate)
+        if lam <= 0.0:
+            raise ConfigurationError("linear decay_rate must be positive")
+        return lam * (m - ranks)
+    raise ConfigurationError(f"unknown decay kind {kind!r}")
+
+
+def total_weight(weights: np.ndarray) -> float:
+    """Total Weight of a signature (Def. 10) — constant for fixed m/decay."""
+    return float(np.sum(weights))
+
+
+def weight_distance(
+    ranked_sig: Iterable[int], centroid_set: Iterable[int], weights: np.ndarray
+) -> float:
+    """Weight Distance (Def. 11) between a rank-sensitive signature and a
+    rank-insensitive centroid signature.
+
+    ``WD = TW - sum of weights of the object's pivots present in the
+    centroid``: the more (and earlier-ranked) pivots the centroid shares
+    with the object, the smaller the distance.
+    """
+    ranked = [int(p) for p in ranked_sig]
+    if len(ranked) != len(weights):
+        raise ConfigurationError("weights length must equal signature length")
+    members = set(int(p) for p in centroid_set)
+    matched = sum(w for p, w in zip(ranked, weights) if p in members)
+    return total_weight(weights) - matched
+
+
+def weight_distance_matrix(
+    ranked: np.ndarray,
+    centroid_sets: np.ndarray,
+    n_pivots: int,
+    weights: np.ndarray,
+) -> np.ndarray:
+    """Batch Weight Distances.
+
+    Parameters
+    ----------
+    ranked:
+        ``(d, m)`` rank-sensitive signatures.
+    centroid_sets:
+        ``(k, m)`` centroid pivot sets *or* ``(k, words)`` pre-packed
+        uint64 bitsets.
+    n_pivots:
+        Total pivot count (bitset width).
+    weights:
+        ``(m,)`` decay weights.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(d, k)`` float64 Weight Distances.
+    """
+    arr = np.asarray(ranked, dtype=np.int64)
+    w = np.asarray(weights, dtype=np.float64)
+    if arr.ndim != 2 or arr.shape[1] != w.shape[0]:
+        raise ConfigurationError("ranked shape does not match weights length")
+    cs = np.asarray(centroid_sets)
+    if cs.dtype != np.uint64:
+        cs = pack_pivot_sets(cs, n_pivots)
+    if cs.shape[1] != words_for(n_pivots):
+        raise ConfigurationError("packed centroid width does not match n_pivots")
+    tw = total_weight(w)
+    matched = np.zeros((arr.shape[0], cs.shape[0]), dtype=np.float64)
+    one = np.uint64(1)
+    for rank in range(arr.shape[1]):
+        pivot = arr[:, rank]
+        word = cs[:, pivot >> 6]  # (k, d)
+        bit = (word >> (pivot & 63).astype(np.uint64)) & one
+        matched += w[rank] * bit.T.astype(np.float64)
+    return tw - matched
+
+
+# ---------------------------------------------------------------------------
+# Classic rank metrics (for reference / related-work comparison)
+# ---------------------------------------------------------------------------
+
+def _rank_map(perm: np.ndarray) -> dict[int, int]:
+    return {int(p): i for i, p in enumerate(perm)}
+
+
+def spearman_footrule(perm_a: Iterable[int], perm_b: Iterable[int]) -> int:
+    """Spearman footrule distance between two permutations of one id set.
+
+    Sum over ids of the absolute rank displacement.
+    """
+    a = np.asarray(list(perm_a), dtype=np.int64)
+    b = np.asarray(list(perm_b), dtype=np.int64)
+    if sorted(a.tolist()) != sorted(b.tolist()):
+        raise ConfigurationError("footrule requires permutations of one id set")
+    rank_b = _rank_map(b)
+    return int(sum(abs(i - rank_b[int(p)]) for i, p in enumerate(a)))
+
+
+def kendall_tau(perm_a: Iterable[int], perm_b: Iterable[int]) -> int:
+    """Kendall tau distance: the number of discordant pairs."""
+    a = list(int(p) for p in perm_a)
+    b = list(int(p) for p in perm_b)
+    if sorted(a) != sorted(b):
+        raise ConfigurationError("kendall tau requires permutations of one id set")
+    rank_b = _rank_map(np.asarray(b))
+    seq = [rank_b[p] for p in a]
+    discordant = 0
+    for i in range(len(seq)):
+        for j in range(i + 1, len(seq)):
+            if seq[i] > seq[j]:
+                discordant += 1
+    return discordant

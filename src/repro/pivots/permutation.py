@@ -1,0 +1,91 @@
+"""Pivot permutations and Pivot Permutation Prefixes (Def. 5).
+
+Given ``r`` pivots in PAA space, every object induces a *pivot
+permutation*: the pivot ids sorted by ascending distance from the object
+(Section IV-A, Fig. 2).  The *Pivot Permutation Prefix* (PPP) keeps only
+the ``m`` nearest pivots, avoiding excessive space fragmentation while
+preserving locality.
+
+Everything operates on batches: signatures for a ``(d, w)`` PAA matrix are
+computed with one distance matrix and one partial sort.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.series import as_matrix, squared_euclidean
+
+__all__ = ["pivot_distance_matrix", "full_permutations", "permutation_prefixes"]
+
+
+def pivot_distance_matrix(paa: np.ndarray, pivots: np.ndarray) -> np.ndarray:
+    """Squared Euclidean distances from every object to every pivot.
+
+    Squared distances order identically to true distances, so ranking uses
+    them directly and skips ``d * r`` square roots.
+    """
+    p = as_matrix(pivots)
+    q = as_matrix(paa)
+    if p.shape[1] != q.shape[1]:
+        raise ConfigurationError(
+            f"PAA word length {q.shape[1]} != pivot word length {p.shape[1]}"
+        )
+    return squared_euclidean(q, p)
+
+
+def full_permutations(paa: np.ndarray, pivots: np.ndarray) -> np.ndarray:
+    """The complete pivot permutation of every object.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(d, r)`` int32 matrix; row ``i`` lists all pivot ids sorted by
+        ascending distance from object ``i`` (ties broken by pivot id, so
+        permutations are deterministic).
+    """
+    d2 = pivot_distance_matrix(paa, pivots)
+    r = d2.shape[1]
+    ids = np.broadcast_to(np.arange(r, dtype=np.int64), d2.shape)
+    order = np.lexsort((ids, d2), axis=1)
+    return order.astype(np.int32)
+
+
+def permutation_prefixes(
+    paa: np.ndarray, pivots: np.ndarray, prefix_length: int
+) -> np.ndarray:
+    """Pivot Permutation Prefixes (Def. 5) of every object.
+
+    Parameters
+    ----------
+    prefix_length:
+        ``m`` in the paper; must satisfy ``1 <= m <= r``.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(d, m)`` int32 matrix of the ``m`` nearest pivot ids per object,
+        ordered by ascending distance (rank-sensitive order).
+    """
+    d2 = pivot_distance_matrix(paa, pivots)
+    r = d2.shape[1]
+    m = int(prefix_length)
+    if not 1 <= m <= r:
+        raise ConfigurationError(f"prefix_length must be in [1, {r}], got {m}")
+    if m == r:
+        return full_permutations(paa, pivots)
+    # Partial selection first (cheap), then an exact sort of just the top-m.
+    part = np.argpartition(d2, m - 1, axis=1)[:, :m]
+    vals = np.take_along_axis(d2, part, axis=1)
+    order = np.lexsort((part, vals), axis=1)
+    ranked = np.take_along_axis(part, order, axis=1)
+    # argpartition may split ties at the m-th distance arbitrarily; repair
+    # rows where the boundary is ambiguous so tie-breaking is always by id.
+    boundary = vals.max(axis=1)
+    ambiguous = (d2 <= boundary[:, None]).sum(axis=1) > m
+    if np.any(ambiguous):
+        rows = np.flatnonzero(ambiguous)
+        sub = full_permutations(paa[rows], pivots)[:, :m]
+        ranked[rows] = sub
+    return ranked.astype(np.int32)

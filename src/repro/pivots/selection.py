@@ -1,0 +1,70 @@
+"""Pivot selection strategies.
+
+CLIMBER selects pivots *randomly* from the sampled PAA signatures (index
+construction Step 1): "We opt for random selection because existing work in
+literature has shown that random selection works competitively well
+compared to any other sophisticated selection methods."
+
+We implement random selection as the default plus a farthest-first
+(greedy max-min) alternative so the claim can be checked in the
+``bench_ablation_pivot_selection`` ablation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.series import as_matrix, squared_euclidean
+
+__all__ = ["select_random_pivots", "select_farthest_first_pivots"]
+
+
+def _validate(candidates: np.ndarray, n_pivots: int) -> np.ndarray:
+    arr = as_matrix(candidates)
+    if n_pivots < 1:
+        raise ConfigurationError("n_pivots must be >= 1")
+    if n_pivots > arr.shape[0]:
+        raise ConfigurationError(
+            f"cannot select {n_pivots} pivots from {arr.shape[0]} candidates"
+        )
+    return arr
+
+
+def select_random_pivots(
+    candidates: np.ndarray, n_pivots: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Uniformly sample ``n_pivots`` distinct rows of ``candidates``.
+
+    This is the paper's method: pivots are points in PAA space, drawn from
+    the sample, and "remain fixed throughout the entire system operations".
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(n_pivots, w)`` pivot matrix (a copy, safe to retain).
+    """
+    arr = _validate(candidates, n_pivots)
+    idx = rng.choice(arr.shape[0], size=n_pivots, replace=False)
+    return arr[np.sort(idx)].copy()
+
+
+def select_farthest_first_pivots(
+    candidates: np.ndarray, n_pivots: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Greedy max-min (farthest-first traversal) pivot selection.
+
+    Starts from a random candidate, then repeatedly adds the candidate
+    whose minimum distance to the already-selected pivots is largest.
+    Classic 2-approximation of the k-center objective; used only in the
+    pivot-selection ablation.
+    """
+    arr = _validate(candidates, n_pivots)
+    n = arr.shape[0]
+    chosen = [int(rng.integers(0, n))]
+    min_d2 = squared_euclidean(arr[chosen[0]], arr)[0]
+    for _ in range(1, n_pivots):
+        nxt = int(np.argmax(min_d2))
+        chosen.append(nxt)
+        min_d2 = np.minimum(min_d2, squared_euclidean(arr[nxt], arr)[0])
+    return arr[chosen].copy()

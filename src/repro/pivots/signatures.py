@@ -1,0 +1,113 @@
+"""P4 dual signatures (Def. 6) and their packed bitset form.
+
+Every data series gets two signatures derived from its Pivot Permutation
+Prefix:
+
+* **rank-sensitive** ``P4->``: the ``m`` nearest pivot ids in ascending
+  distance order — fine-grained, drives partition (trie) placement;
+* **rank-insensitive** ``P4-/->``: the same ids in global (ascending id)
+  order — coarse-grained, drives group placement.
+
+The rank-insensitive signature is a *set*; the Overlap Distance only needs
+set intersections.  We therefore also provide a packed bitset encoding
+(``ceil(r/64)`` uint64 words per object) so batch OD computations are a
+bitwise AND plus popcount.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["DualSignature", "rank_insensitive", "pack_pivot_sets", "words_for"]
+
+
+def rank_insensitive(ranked: np.ndarray) -> np.ndarray:
+    """Rank-insensitive signatures: each row sorted ascending by pivot id.
+
+    ``LexicographicalOrder(P4->)`` in Def. 6 — pivot ids are integers here,
+    so the lexicographical order over id strings becomes numeric order.
+    """
+    arr = np.asarray(ranked)
+    if arr.ndim != 2:
+        raise ConfigurationError("ranked signatures must be a (d, m) matrix")
+    return np.sort(arr, axis=1)
+
+
+def words_for(n_pivots: int) -> int:
+    """Number of uint64 words needed to hold a set over ``n_pivots`` bits."""
+    if n_pivots < 1:
+        raise ConfigurationError("n_pivots must be >= 1")
+    return (n_pivots + 63) // 64
+
+
+def pack_pivot_sets(signatures: np.ndarray, n_pivots: int) -> np.ndarray:
+    """Pack pivot-id rows into fixed-width bitsets.
+
+    Parameters
+    ----------
+    signatures:
+        ``(d, m)`` matrix of pivot ids (order irrelevant — this is a set
+        encoding).  Ids must lie in ``[0, n_pivots)`` and be unique per row.
+    n_pivots:
+        Total pivot count ``r`` (determines the bitset width).
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(d, words_for(n_pivots))`` uint64 bitsets.
+    """
+    arr = np.asarray(signatures, dtype=np.int64)
+    if arr.ndim != 2:
+        raise ConfigurationError("signatures must be a (d, m) matrix")
+    if arr.size and (arr.min() < 0 or arr.max() >= n_pivots):
+        raise ConfigurationError(
+            f"pivot id out of range [0, {n_pivots}) in signature matrix"
+        )
+    n_words = words_for(n_pivots)
+    out = np.zeros((arr.shape[0], n_words), dtype=np.uint64)
+    word_idx = arr >> 6
+    bit = np.uint64(1) << (arr & 63).astype(np.uint64)
+    rows = np.repeat(np.arange(arr.shape[0]), arr.shape[1])
+    np.bitwise_or.at(out, (rows, word_idx.ravel()), bit.ravel())
+    return out
+
+
+@dataclass(frozen=True)
+class DualSignature:
+    """The P4 dual signature of a single data series (Def. 6).
+
+    Attributes
+    ----------
+    ranked:
+        Rank-sensitive ``P4->`` — pivot ids ordered by ascending distance.
+    """
+
+    ranked: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(set(self.ranked)) != len(self.ranked):
+            raise ConfigurationError("signature contains duplicate pivot ids")
+        if not self.ranked:
+            raise ConfigurationError("signature must contain at least one pivot")
+
+    @property
+    def unranked(self) -> tuple[int, ...]:
+        """Rank-insensitive ``P4-/->`` — the same ids in ascending order."""
+        return tuple(sorted(self.ranked))
+
+    @property
+    def prefix_length(self) -> int:
+        return len(self.ranked)
+
+    @classmethod
+    def from_row(cls, row: np.ndarray) -> "DualSignature":
+        """Build from one row of a batch rank-sensitive signature matrix."""
+        return cls(tuple(int(p) for p in np.asarray(row).ravel()))
+
+    def __str__(self) -> str:
+        arrow = ",".join(str(p) for p in self.ranked)
+        return f"<{arrow}>"

@@ -1,0 +1,39 @@
+"""Data-series substrate: containers, normalisation, distances, PAA, SAX, iSAX."""
+
+from repro.series.distance import (
+    euclidean,
+    knn_bruteforce,
+    knn_merge,
+    pairwise_euclidean,
+    squared_euclidean,
+)
+from repro.series.isax import ISaxSpace, ISaxWord
+from repro.series.normalize import is_znormalized, znormalize
+from repro.series.paa import paa_distance_lower_bound, paa_inverse, paa_transform
+from repro.series.sax import sax_breakpoints, sax_mindist, sax_transform, symbol_bounds
+from repro.series.series import SeriesDataset, as_matrix, series_nbytes
+from repro.series.windows import sliding_windows, window_dataset
+
+__all__ = [
+    "SeriesDataset",
+    "as_matrix",
+    "series_nbytes",
+    "znormalize",
+    "is_znormalized",
+    "euclidean",
+    "squared_euclidean",
+    "pairwise_euclidean",
+    "knn_bruteforce",
+    "knn_merge",
+    "paa_transform",
+    "paa_inverse",
+    "paa_distance_lower_bound",
+    "sax_breakpoints",
+    "sax_transform",
+    "sax_mindist",
+    "symbol_bounds",
+    "ISaxSpace",
+    "ISaxWord",
+    "sliding_windows",
+    "window_dataset",
+]

@@ -1,0 +1,177 @@
+"""indexable SAX (iSAX) with per-segment cardinality.
+
+iSAX (Shieh & Keogh, [54] in the paper) lets each segment carry its own
+cardinality: a word like ``[00_2, 0103_4, 10_2, 1_1]`` (paper Fig. 1(b))
+stores, per segment, a symbol together with the number of bits used for it.
+Lower-cardinality symbols are *prefixes* of higher-cardinality ones, which
+is what makes the representation indexable: a tree node's word covers every
+series whose full-resolution symbols share those prefixes.
+
+We store each series' symbols once at a fixed maximum cardinality
+(``2**max_bits``); any coarser word is obtained by right-shifting.  This is
+the standard trick used by iSAX 2.0-style implementations and is what the
+DPiSAX and TARDIS baselines and the Odyssey exact searcher build on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.series.sax import sax_breakpoints, sax_transform
+from repro.series.series import as_matrix
+
+__all__ = ["ISaxWord", "ISaxSpace"]
+
+
+@dataclass(frozen=True)
+class ISaxWord:
+    """An iSAX word: per-segment ``(symbol, bits)`` pairs.
+
+    ``bits[i] == 0`` means segment ``i`` is a wildcard (matches anything),
+    which appears at the root of iSAX trees.
+    """
+
+    symbols: tuple[int, ...]
+    bits: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.symbols) != len(self.bits):
+            raise ConfigurationError("symbols and bits must have equal length")
+        for s, b in zip(self.symbols, self.bits):
+            if b < 0:
+                raise ConfigurationError(f"negative bit width {b}")
+            if s < 0 or (b < 63 and s >= (1 << b)):
+                raise ConfigurationError(f"symbol {s} out of range for {b} bits")
+
+    @property
+    def word_length(self) -> int:
+        return len(self.symbols)
+
+    def covers(self, other: "ISaxWord") -> bool:
+        """True if every series matching ``other`` also matches ``self``.
+
+        Requires ``other`` to be at least as refined on every segment.
+        """
+        for s, b, os, ob in zip(self.symbols, self.bits, other.symbols, other.bits):
+            if ob < b:
+                return False
+            if (os >> (ob - b)) != s:
+                return False
+        return True
+
+    def split(self, segment: int) -> tuple["ISaxWord", "ISaxWord"]:
+        """Promote ``segment`` by one bit, yielding the two child words."""
+        if not 0 <= segment < self.word_length:
+            raise ConfigurationError(f"segment {segment} out of range")
+        symbols0 = list(self.symbols)
+        bits = list(self.bits)
+        symbols0[segment] <<= 1
+        bits[segment] += 1
+        symbols1 = list(symbols0)
+        symbols1[segment] |= 1
+        return (
+            ISaxWord(tuple(symbols0), tuple(bits)),
+            ISaxWord(tuple(symbols1), tuple(bits)),
+        )
+
+    def __str__(self) -> str:
+        parts = []
+        for s, b in zip(self.symbols, self.bits):
+            parts.append("*" if b == 0 else f"{s:0{b}b}")
+        return "[" + ",".join(parts) + "]"
+
+
+class ISaxSpace:
+    """Fixed-resolution iSAX universe for one dataset configuration.
+
+    Parameters
+    ----------
+    word_length:
+        Number of PAA segments ``w``.
+    series_length:
+        Raw series length ``n`` (needed by the MINDIST scaling factor).
+    max_bits:
+        Full-resolution cardinality is ``2**max_bits`` (paper defaults use
+        small words with cardinality up to 256, i.e. 8 bits).
+    """
+
+    def __init__(self, word_length: int, series_length: int, max_bits: int = 8):
+        if word_length < 1:
+            raise ConfigurationError("word_length must be >= 1")
+        if max_bits < 1 or max_bits > 16:
+            raise ConfigurationError("max_bits must be in [1, 16]")
+        if series_length < word_length:
+            raise ConfigurationError("series_length must be >= word_length")
+        self.word_length = word_length
+        self.series_length = series_length
+        self.max_bits = max_bits
+        self.max_cardinality = 1 << max_bits
+
+    # -- encoding -------------------------------------------------------------
+
+    def encode_paa(self, paa: np.ndarray) -> np.ndarray:
+        """Full-resolution symbols ``(d, w) uint32`` for PAA rows."""
+        arr = as_matrix(paa)
+        if arr.shape[1] != self.word_length:
+            raise ConfigurationError(
+                f"PAA word length {arr.shape[1]} != space word length {self.word_length}"
+            )
+        return sax_transform(arr, self.max_cardinality)
+
+    def root_word(self) -> ISaxWord:
+        """The all-wildcard word covering the entire space."""
+        return ISaxWord((0,) * self.word_length, (0,) * self.word_length)
+
+    def word_at(self, full_symbols: np.ndarray, bits: tuple[int, ...]) -> ISaxWord:
+        """Coarsen one full-resolution symbol row to the given bit widths."""
+        syms = np.asarray(full_symbols, dtype=np.int64).ravel()
+        if syms.shape[0] != self.word_length:
+            raise ConfigurationError("symbol row has wrong word length")
+        out = tuple(
+            int(s) >> (self.max_bits - b) if b else 0
+            for s, b in zip(syms, bits)
+        )
+        return ISaxWord(out, tuple(bits))
+
+    def matches(self, word: ISaxWord, full_symbols: np.ndarray) -> np.ndarray:
+        """Boolean mask of full-resolution rows covered by ``word``."""
+        syms = np.atleast_2d(np.asarray(full_symbols, dtype=np.int64))
+        mask = np.ones(syms.shape[0], dtype=bool)
+        for i, (s, b) in enumerate(zip(word.symbols, word.bits)):
+            if b == 0:
+                continue
+            mask &= (syms[:, i] >> (self.max_bits - b)) == s
+        return mask
+
+    # -- lower bound ------------------------------------------------------------
+
+    def mindist_paa(self, paa_query: np.ndarray, word: ISaxWord) -> float:
+        """MINDIST lower bound between a query's PAA and an iSAX word region.
+
+        Each segment of ``word`` denotes a value interval; the segment
+        contribution is the distance from the query's PAA value to that
+        interval (zero if inside).  Scaled by ``sqrt(n/w)`` this lower-bounds
+        the true Euclidean distance to *any* series covered by the word —
+        the pruning rule of iSAX-family exact search (used by Odyssey).
+        """
+        q = np.asarray(paa_query, dtype=np.float64).ravel()
+        if q.shape[0] != self.word_length:
+            raise ConfigurationError("query PAA has wrong word length")
+        total = 0.0
+        for i, (s, b) in enumerate(zip(word.symbols, word.bits)):
+            if b == 0:
+                continue
+            bps = sax_breakpoints(1 << b)
+            ext_lo = -np.inf if s == 0 else bps[s - 1]
+            ext_hi = np.inf if s == (1 << b) - 1 else bps[s]
+            v = q[i]
+            if v < ext_lo:
+                total += (ext_lo - v) ** 2
+            elif v > ext_hi:
+                total += (v - ext_hi) ** 2
+        return float(
+            np.sqrt(self.series_length / self.word_length) * np.sqrt(total)
+        )

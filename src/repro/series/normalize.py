@@ -1,0 +1,59 @@
+"""Z-normalisation of data series.
+
+Data-series similarity search conventionally z-normalises each series
+(mean 0, standard deviation 1) so that shape, not offset or amplitude,
+drives similarity.  All paper datasets are z-normalised before indexing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.series.series import as_matrix
+
+__all__ = ["znormalize", "is_znormalized"]
+
+_FLAT_STD_EPSILON = 1e-9
+"""Relative flatness threshold: a series whose standard deviation is below
+``_FLAT_STD_EPSILON * max(1, max|x|)`` is considered constant and mapped to
+all zeros.  The threshold is relative because for large-magnitude values the
+centred residuals ``x - mean`` are dominated by floating-point cancellation
+noise, and dividing that noise by a tiny std would fabricate a signal."""
+
+
+def znormalize(data: np.ndarray) -> np.ndarray:
+    """Z-normalise each row of ``data`` to zero mean and unit variance.
+
+    Constant rows (zero variance) become all-zero rows rather than NaNs,
+    which matches how data-series systems treat flat-line segments.
+
+    Parameters
+    ----------
+    data:
+        A single series or a ``(d, n)`` matrix.
+
+    Returns
+    -------
+    numpy.ndarray
+        A new matrix of the same shape as the validated input.
+    """
+    arr = as_matrix(data)
+    mean = arr.mean(axis=1, keepdims=True)
+    std = arr.std(axis=1, keepdims=True)
+    scale = np.maximum(1.0, np.abs(arr).max(axis=1, keepdims=True))
+    flat = std < _FLAT_STD_EPSILON * scale
+    safe_std = np.where(flat, 1.0, std)
+    out = (arr - mean) / safe_std
+    if flat.any():
+        out[flat[:, 0]] = 0.0
+    return out
+
+
+def is_znormalized(data: np.ndarray, *, atol: float = 1e-6) -> bool:
+    """Check whether every row has ~zero mean and ~unit (or zero) std."""
+    arr = as_matrix(data)
+    means = arr.mean(axis=1)
+    stds = arr.std(axis=1)
+    unit = np.abs(stds - 1.0) <= atol
+    flat = stds <= atol
+    return bool(np.all(np.abs(means) <= atol) and np.all(unit | flat))

@@ -1,0 +1,104 @@
+"""Symbolic Aggregate approXimation (SAX).
+
+SAX (Lin et al., [39] in the paper) quantises each PAA segment mean into
+one of ``c`` symbols ("stripes" in the paper's Fig. 1) whose boundaries are
+the quantiles of the standard normal distribution — equiprobable for
+z-normalised series.  SAX and its multi-resolution extension iSAX are the
+representations underlying the DPiSAX and TARDIS baselines.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+from scipy.stats import norm
+
+from repro.exceptions import ConfigurationError
+from repro.series.series import as_matrix
+
+__all__ = [
+    "sax_breakpoints",
+    "sax_transform",
+    "sax_mindist",
+    "symbol_bounds",
+]
+
+MAX_CARDINALITY_BITS = 16
+"""Upper bound on ``log2(cardinality)`` accepted by this module."""
+
+
+@lru_cache(maxsize=None)
+def sax_breakpoints(cardinality: int) -> np.ndarray:
+    """The ``cardinality - 1`` breakpoints dividing N(0, 1) into equal-mass stripes.
+
+    ``sax_breakpoints(4)`` is ``[-0.6745, 0.0, 0.6745]``: symbol ``s`` covers
+    the value interval ``(bp[s-1], bp[s]]`` with ``bp[-1] = -inf`` and
+    ``bp[c-1] = +inf``.
+    """
+    c = int(cardinality)
+    if c < 2 or c > 2**MAX_CARDINALITY_BITS:
+        raise ConfigurationError(
+            f"cardinality must be in [2, {2**MAX_CARDINALITY_BITS}], got {cardinality}"
+        )
+    if c & (c - 1):
+        raise ConfigurationError(f"cardinality must be a power of two, got {c}")
+    qs = np.arange(1, c) / c
+    pts = norm.ppf(qs)
+    pts.setflags(write=False)
+    return pts
+
+
+def sax_transform(paa: np.ndarray, cardinality: int) -> np.ndarray:
+    """Quantise PAA rows into SAX symbol rows.
+
+    Symbols are integers in ``[0, cardinality)``, ordered from the lowest
+    stripe upward (the paper's binary labels ``000 .. 111`` read as integers).
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(d, w)`` matrix of ``uint32`` symbols.
+    """
+    arr = as_matrix(paa)
+    bps = sax_breakpoints(cardinality)
+    return np.searchsorted(bps, arr, side="left").astype(np.uint32)
+
+
+def symbol_bounds(symbols: np.ndarray, cardinality: int) -> tuple[np.ndarray, np.ndarray]:
+    """Value interval ``[lo, hi]`` covered by each SAX symbol.
+
+    The outermost stripes extend to +-infinity.
+    """
+    bps = sax_breakpoints(cardinality)
+    syms = np.asarray(symbols, dtype=np.int64)
+    if syms.min(initial=0) < 0 or syms.max(initial=0) >= cardinality:
+        raise ConfigurationError("symbol out of range for cardinality")
+    ext = np.concatenate(([-np.inf], bps, [np.inf]))
+    return ext[syms], ext[syms + 1]
+
+
+def sax_mindist(
+    sax_x: np.ndarray,
+    sax_y: np.ndarray,
+    cardinality: int,
+    length: int,
+) -> float:
+    """MINDIST between two SAX words (Lin et al. 2007).
+
+    A lower bound on the Euclidean distance between the original series:
+    adjacent or equal symbols contribute zero; otherwise the gap between the
+    nearer breakpoints.
+    """
+    sx = np.asarray(sax_x, dtype=np.int64).ravel()
+    sy = np.asarray(sax_y, dtype=np.int64).ravel()
+    if sx.shape != sy.shape:
+        raise ValueError("SAX words must have the same word length")
+    bps = sax_breakpoints(cardinality)
+    lo = np.minimum(sx, sy)
+    hi = np.maximum(sx, sy)
+    adjacent = (hi - lo) <= 1
+    # For non-adjacent symbols the cell gap is bp[hi - 1] - bp[lo].
+    gap = np.where(adjacent, 0.0, bps[np.maximum(hi - 1, 0)] - bps[np.minimum(lo, bps.shape[0] - 1)])
+    w = sx.shape[0]
+    return float(np.sqrt(length / w) * np.sqrt(np.sum(gap**2)))

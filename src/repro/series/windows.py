@@ -1,0 +1,64 @@
+"""Subsequence window extraction.
+
+The paper's motivating applications (ECG monitors, weblog traces, space
+telemetry — §I) produce one long series per source; similarity search
+operates over fixed-length *subsequences* of it.  This module turns a long
+series into a window dataset, the preprocessing step the DNA pipeline of
+[12] applies and the ChainLink system [5] builds on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.series.normalize import znormalize
+from repro.series.series import SeriesDataset
+
+__all__ = ["sliding_windows", "window_dataset"]
+
+
+def sliding_windows(
+    series: np.ndarray, window: int, stride: int = 1
+) -> np.ndarray:
+    """All windows of ``window`` points taken every ``stride`` steps.
+
+    Returns a read-only **view** when possible (no copy): ``(n_windows,
+    window)`` where ``n_windows = 1 + (len(series) - window) // stride``.
+
+    >>> sliding_windows(np.arange(5.0), window=3, stride=2)
+    array([[0., 1., 2.],
+           [2., 3., 4.]])
+    """
+    arr = np.asarray(series, dtype=np.float64).ravel()
+    if window < 1 or window > arr.shape[0]:
+        raise ConfigurationError(
+            f"window must be in [1, {arr.shape[0]}], got {window}"
+        )
+    if stride < 1:
+        raise ConfigurationError("stride must be >= 1")
+    n_windows = 1 + (arr.shape[0] - window) // stride
+    view = np.lib.stride_tricks.sliding_window_view(arr, window)[::stride]
+    view = view[:n_windows]
+    view.setflags(write=False)
+    return view
+
+
+def window_dataset(
+    series: np.ndarray,
+    window: int,
+    stride: int = 1,
+    *,
+    normalize: bool = True,
+    name: str = "windows",
+) -> SeriesDataset:
+    """Build a :class:`SeriesDataset` of (optionally z-normalised) windows.
+
+    Window ``i`` covers ``series[i * stride : i * stride + window]``; its
+    id is the start offset ``i * stride``, so query answers point straight
+    back into the source series.
+    """
+    views = sliding_windows(series, window, stride)
+    values = znormalize(views) if normalize else views.copy()
+    ids = np.arange(views.shape[0], dtype=np.int64) * stride
+    return SeriesDataset(values, ids=ids, name=name)

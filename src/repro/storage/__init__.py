@@ -1,0 +1,20 @@
+"""Simulated distributed storage substrate (stands in for HDFS)."""
+
+from repro.storage.dfs import DfsCounters, SimulatedDFS
+from repro.storage.partition import PartitionFile
+from repro.storage.serialization import (
+    array_from_bytes,
+    array_to_bytes,
+    json_from_bytes,
+    json_to_bytes,
+)
+
+__all__ = [
+    "SimulatedDFS",
+    "DfsCounters",
+    "PartitionFile",
+    "array_to_bytes",
+    "array_from_bytes",
+    "json_to_bytes",
+    "json_from_bytes",
+]

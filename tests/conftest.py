@@ -1,0 +1,43 @@
+"""Shared fixtures for the test suite.
+
+Datasets here are intentionally small (hundreds to a few thousand series)
+so the whole suite runs in well under a minute; benchmark-scale workloads
+live under ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import random_walk_dataset
+from repro.series import SeriesDataset, znormalize
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def small_dataset() -> SeriesDataset:
+    """2 000 z-normalised random-walk series of length 64."""
+    return random_walk_dataset(2_000, 64, seed=7)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset() -> SeriesDataset:
+    """200 z-normalised random-walk series of length 32."""
+    return random_walk_dataset(200, 32, seed=11)
+
+
+@pytest.fixture(scope="session")
+def clustered_dataset() -> SeriesDataset:
+    """Series drawn from 8 shape clusters: indexes should separate these."""
+    gen = np.random.default_rng(3)
+    centers = gen.normal(size=(8, 64)).cumsum(axis=1)
+    rows = []
+    for i in range(1_600):
+        c = centers[i % 8]
+        rows.append(c + gen.normal(scale=0.25, size=64))
+    return SeriesDataset(znormalize(np.array(rows)), name="clustered")

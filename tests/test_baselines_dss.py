@@ -1,0 +1,58 @@
+"""Tests for the Dss exact-scan baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import DssScanner
+from repro.datasets import random_walk_dataset
+from repro.exceptions import ConfigurationError
+from repro.series import knn_bruteforce
+
+
+@pytest.fixture(scope="module")
+def scan_setup():
+    ds = random_walk_dataset(1200, 32, seed=4)
+    return ds, DssScanner.build(ds, n_partitions=8)
+
+
+class TestDss:
+    def test_exactness(self, scan_setup):
+        """Dss is the ground truth: it must equal brute force everywhere."""
+        ds, dss = scan_setup
+        for i in (0, 50, 333, 1199):
+            expect_ids, expect_d = knn_bruteforce(ds.values[i], ds.values, ds.ids, 10)
+            res = dss.knn(ds.values[i], 10)
+            np.testing.assert_array_equal(res.ids, expect_ids)
+            np.testing.assert_allclose(res.distances, expect_d, atol=1e-9)
+
+    def test_scans_every_partition(self, scan_setup):
+        ds, dss = scan_setup
+        res = dss.knn(ds.values[0], 5)
+        assert res.stats.n_partitions == 8
+        assert res.stats.records_examined == 1200
+
+    def test_no_index_construction(self, scan_setup):
+        _, dss = scan_setup
+        assert dss.build_sim_seconds == 0.0
+
+    def test_sim_time_scales_with_data(self):
+        small_ds = random_walk_dataset(500, 32, seed=1)
+        big_ds = random_walk_dataset(500, 32, seed=1)
+        small = DssScanner.build(small_ds, n_partitions=4, cost_scale=1.0)
+        big = DssScanner.build(big_ds, n_partitions=4, cost_scale=100.0)
+        q = small_ds.values[0]
+        assert big.knn(q, 5).stats.sim_seconds > small.knn(q, 5).stats.sim_seconds
+
+    def test_rejects_bad_inputs(self, scan_setup):
+        ds, dss = scan_setup
+        with pytest.raises(ConfigurationError):
+            dss.knn(ds.values[0], 0)
+        with pytest.raises(ConfigurationError):
+            DssScanner.build(ds, n_partitions=0)
+
+    def test_k_exceeding_dataset(self, scan_setup):
+        ds, dss = scan_setup
+        res = dss.knn(ds.values[0], 5000)
+        assert len(res.ids) == 1200

@@ -1,0 +1,140 @@
+"""White-box tests for DPiSAX and TARDIS internals."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import DpisaxConfig, DpisaxIndex, TardisConfig, TardisIndex
+from repro.baselines.tardis import SigTreeNode
+from repro.datasets import random_walk_dataset
+from repro.series import paa_transform
+
+
+@pytest.fixture(scope="module")
+def ds():
+    return random_walk_dataset(1500, 64, seed=31)
+
+
+@pytest.fixture(scope="module")
+def dpisax(ds):
+    return DpisaxIndex.build(
+        ds, DpisaxConfig(word_length=8, max_bits=6, capacity=150,
+                         leaf_capacity=32, sample_fraction=0.3, seed=7)
+    )
+
+
+@pytest.fixture(scope="module")
+def tardis(ds):
+    return TardisIndex.build(
+        ds, TardisConfig(word_length=8, max_bits=6, capacity=150,
+                         leaf_capacity=32, sample_fraction=0.3, seed=7)
+    )
+
+
+class TestDpisaxTable:
+    def test_cells_partition_the_word_space(self, ds, dpisax):
+        """Every record routes to exactly one leaf cell."""
+        space = dpisax.space
+        syms = space.encode_paa(paa_transform(ds.values, 8))
+        pids = [dpisax._route(dpisax.table, row, space) for row in syms]
+        assert min(pids) >= 0
+        assert len(set(pids)) > 1  # the table actually splits
+
+    def test_routing_is_deterministic(self, ds, dpisax):
+        space = dpisax.space
+        syms = space.encode_paa(paa_transform(ds.values[:50], 8))
+        a = [dpisax._route(dpisax.table, row, space) for row in syms]
+        b = [dpisax._route(dpisax.table, row, space) for row in syms]
+        assert a == b
+
+    def test_internal_cells_have_two_children(self, dpisax):
+        stack = [dpisax.table]
+        while stack:
+            cell = stack.pop()
+            if not cell.is_leaf:
+                assert len(cell.children) == 2
+                assert cell.split_segment >= 0
+                stack.extend(cell.children)
+
+    def test_local_trees_cover_their_partitions(self, dpisax):
+        for pid, tree in dpisax.local_trees.items():
+            part = dpisax.dfs.read_partition(f"dpisax{pid}")
+            stored = sum(
+                leaf.rows.shape[0]
+                for leaf in tree.leaves()
+                if leaf.rows is not None
+            )
+            assert stored == part.record_count
+
+    def test_balanced_splits_on_sample(self, ds):
+        """The chosen split segments should produce reasonably balanced
+        children (DPiSAX picks the most balanced next bit)."""
+        index = DpisaxIndex.build(
+            ds, DpisaxConfig(word_length=8, max_bits=6, capacity=400,
+                             sample_fraction=0.5, seed=1)
+        )
+        sizes = [
+            index.dfs.read_partition(p).record_count
+            for p in index.dfs.list_partitions()
+        ]
+        assert max(sizes) < 12 * max(1, min(sizes))
+
+
+class TestTardisSigTree:
+    def test_children_refine_parent_words(self, tardis):
+        stack = [tardis.root]
+        while stack:
+            node = stack.pop()
+            for word, child in node.children.items():
+                assert child.bits == node.bits + 1
+                for parent_sym, child_sym in zip(node.word, word):
+                    assert (child_sym >> 1) == parent_sym
+                stack.append(child)
+
+    def test_leaf_counts_account_for_sample_mass(self, tardis):
+        leaves = []
+        stack = [tardis.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                leaves.append(node)
+            else:
+                stack.extend(node.children.values())
+        assert sum(l.count for l in leaves) == pytest.approx(tardis.root.count)
+
+    def test_defaults_point_to_existing_partitions(self, tardis):
+        stack = [tardis.root]
+        while stack:
+            node = stack.pop()
+            assert node.default_partition >= 0
+            stack.extend(node.children.values())
+
+    def test_descend_matches_full_resolution(self, ds, tardis):
+        """A record descends to a node whose word covers its symbols."""
+        space = tardis.space
+        syms = space.encode_paa(paa_transform(ds.values[:100], 8))
+        for row in syms:
+            node, complete = TardisIndex._descend(tardis.root, row, space)
+            if node.bits:
+                shift = space.max_bits - node.bits
+                assert tuple(int(s) >> shift for s in row) == node.word
+
+    def test_node_key_roundtrip(self):
+        node = SigTreeNode(bits=3, word=(5, 0, 7))
+        assert node.key() == "3:5.0.7"
+
+    def test_covers_relation(self, tardis):
+        node = SigTreeNode(bits=1, word=(1, 0))
+        assert TardisIndex._covers(node, 3, (4, 1))   # 4>>2=1, 1>>2=0
+        assert not TardisIndex._covers(node, 3, (3, 1))  # 3>>2=0 != 1
+        assert not TardisIndex._covers(node, 0, (0, 0))  # coarser than node
+
+
+class TestSingleVsMultiPartitionInvariant:
+    def test_isax_systems_touch_one_partition(self, ds, dpisax, tardis):
+        """The paper's structural contrast: baselines are single-partition;
+        CLIMBER may adaptively touch several."""
+        for i in range(0, 200, 25):
+            assert dpisax.knn(ds.values[i], 10).stats.n_partitions == 1
+            assert tardis.knn(ds.values[i], 10).stats.n_partitions == 1

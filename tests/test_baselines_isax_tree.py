@@ -1,0 +1,124 @@
+"""Tests for the shared in-memory iSAX binary tree."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import ISaxTree
+from repro.exceptions import ConfigurationError
+from repro.series import ISaxSpace, knn_bruteforce, paa_transform, znormalize
+
+
+@pytest.fixture(scope="module")
+def loaded_tree():
+    rng = np.random.default_rng(21)
+    data = znormalize(rng.normal(size=(800, 32)).cumsum(axis=1))
+    space = ISaxSpace(4, 32, max_bits=6)
+    paa = paa_transform(data, 4)
+    tree = ISaxTree(space, leaf_capacity=32)
+    tree.bulk_load(space.encode_paa(paa), np.arange(800))
+    return data, paa, space, tree
+
+
+class TestBulkLoad:
+    def test_all_rows_in_leaves(self, loaded_tree):
+        _, _, _, tree = loaded_tree
+        total = sum(l.rows.shape[0] for l in tree.leaves() if l.rows is not None)
+        assert total == 800
+
+    def test_leaf_capacity_respected(self, loaded_tree):
+        _, _, space, tree = loaded_tree
+        for leaf in tree.leaves():
+            if leaf.rows is None:
+                continue
+            # Oversized leaves only when the word is fully refined.
+            if leaf.rows.shape[0] > 32:
+                assert all(b == space.max_bits for b in leaf.word.bits)
+
+    def test_leaf_rows_match_leaf_words(self, loaded_tree):
+        """Every row stored under a leaf must be covered by the leaf word."""
+        data, paa, space, tree = loaded_tree
+        syms = space.encode_paa(paa)
+        for leaf in tree.leaves():
+            if leaf.rows is None or leaf.rows.shape[0] == 0:
+                continue
+            assert space.matches(leaf.word, syms[leaf.rows]).all()
+
+    def test_rejects_bad_shapes(self):
+        space = ISaxSpace(4, 32)
+        tree = ISaxTree(space, 8)
+        with pytest.raises(ConfigurationError):
+            tree.bulk_load(np.zeros((5, 3), dtype=np.int64), np.arange(5))
+        with pytest.raises(ConfigurationError):
+            tree.bulk_load(np.zeros((5, 4), dtype=np.int64), np.arange(4))
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ConfigurationError):
+            ISaxTree(ISaxSpace(4, 32), 0)
+
+    def test_node_count(self, loaded_tree):
+        _, _, _, tree = loaded_tree
+        assert tree.node_count() >= len(tree.leaves())
+
+
+class TestDescend:
+    def test_descend_reaches_leaf(self, loaded_tree):
+        _, paa, space, tree = loaded_tree
+        syms = space.encode_paa(paa)
+        node = tree.descend(syms[0])
+        assert node.is_leaf
+
+    def test_descend_finds_own_leaf(self, loaded_tree):
+        """A stored row's symbols must route to the leaf containing it."""
+        _, paa, space, tree = loaded_tree
+        syms = space.encode_paa(paa)
+        for i in (0, 100, 400, 799):
+            node = tree.descend(syms[i])
+            assert i in set(node.rows.tolist())
+
+
+class TestExactKnn:
+    def test_matches_bruteforce(self, loaded_tree):
+        """Branch-and-bound with MINDIST pruning must stay exact."""
+        data, paa, _, tree = loaded_tree
+        for i in (3, 97, 512):
+            ids, dists, _ = tree.exact_knn(data[i], paa[i], data, 10)
+            expect_ids, expect_d = knn_bruteforce(data[i], data, np.arange(800), 10)
+            assert set(ids) == set(expect_ids)
+            # atol covers the matmul-vs-direct floating point gap (~1e-7).
+            np.testing.assert_allclose(np.sort(dists), np.sort(expect_d), atol=1e-6)
+
+    def test_prunes_some_records(self, loaded_tree):
+        """Pruning must skip part of the data for typical queries.
+
+        MINDIST bounds are weak in high dimensions, so individual queries
+        may degenerate to a full scan; the average must not.
+        """
+        data, paa, _, tree = loaded_tree
+        visited = sum(
+            tree.exact_knn(data[i], paa[i], data, 5)[2] for i in (3, 97, 211, 512, 700)
+        )
+        assert visited < 5 * 800
+
+    def test_visits_at_least_k(self, loaded_tree):
+        data, paa, _, tree = loaded_tree
+        _, _, visited = tree.exact_knn(data[5], paa[5], data, 5)
+        assert visited >= 5
+
+    def test_empty_tree_raises(self):
+        from repro.exceptions import IndexNotBuiltError
+
+        tree = ISaxTree(ISaxSpace(4, 32), 8)
+        with pytest.raises(IndexNotBuiltError):
+            tree.exact_knn(np.zeros(32), np.zeros(4), np.zeros((1, 32)), 1)
+
+    def test_exact_on_out_of_sample_queries(self, loaded_tree):
+        data, _, space, tree = loaded_tree
+        rng = np.random.default_rng(5)
+        queries = znormalize(rng.normal(size=(5, 32)).cumsum(axis=1))
+        qpaa = paa_transform(queries, 4)
+        for q, qp in zip(queries, qpaa):
+            ids, _, _ = tree.exact_knn(q, qp, data, 7)
+            expect_ids, _ = knn_bruteforce(q, data, np.arange(800), 7)
+            assert set(ids) == set(expect_ids)

@@ -1,0 +1,206 @@
+"""Tests for the cost model and cluster simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import (
+    ClusterSimulator,
+    CostModel,
+    TaskCost,
+    ops_euclidean,
+    ops_paa,
+    ops_signature,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestOpCounts:
+    def test_euclidean_linear_in_length(self):
+        assert ops_euclidean(200) == 2 * ops_euclidean(100)
+
+    def test_paa_linear(self):
+        assert ops_paa(256) == 512
+
+    def test_signature_grows_with_pivots(self):
+        assert ops_signature(200, 16, 10) > ops_signature(50, 16, 10)
+
+
+class TestCostModel:
+    def test_defaults_match_paper_cluster(self):
+        m = CostModel()
+        assert m.n_nodes == 2
+        assert m.cores_per_node == 56
+        assert m.total_cores == 112
+        assert m.memory_per_node_gb == 512.0
+
+    def test_total_memory(self):
+        m = CostModel()
+        assert m.total_memory_bytes == pytest.approx(1024e9)
+
+    def test_read_time_linear_beyond_seek(self):
+        m = CostModel()
+        t1 = m.read_time(100 * 1024 * 1024)
+        t2 = m.read_time(200 * 1024 * 1024)
+        assert t2 - t1 == pytest.approx(t1 - m.read_time(0), rel=1e-6)
+
+    def test_write_slower_than_sequential_write(self):
+        """Replication makes writes cost more than raw disk bandwidth."""
+        m = CostModel()
+        nbytes = 64 * 1024 * 1024
+        raw = nbytes / (m.disk_write_mb_s * 1024 * 1024)
+        assert m.write_time(nbytes) > raw
+
+    def test_compute_time_applies_software_factor(self):
+        m = CostModel(cpu_ops_per_s=1e9, software_factor=2.0)
+        assert m.compute_time(int(2e9)) == pytest.approx(4.0)
+
+    def test_task_time_sums_components(self):
+        m = CostModel()
+        combined = m.task_time(TaskCost(read_bytes=1000, cpu_ops=1000))
+        assert combined == pytest.approx(m.read_time(1000) + m.compute_time(1000))
+
+    def test_zero_cost_task_is_free(self):
+        m = CostModel()
+        assert m.task_time(TaskCost()) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CostModel(n_nodes=0)
+        with pytest.raises(ConfigurationError):
+            CostModel(disk_read_mb_s=-1)
+        with pytest.raises(ConfigurationError):
+            CostModel(replication_factor=0)
+
+    def test_taskcost_addition(self):
+        a = TaskCost(read_bytes=1, write_bytes=2, shuffle_bytes=3, cpu_ops=4)
+        b = TaskCost(read_bytes=10, cpu_ops=40)
+        c = a + b
+        assert (c.read_bytes, c.write_bytes, c.shuffle_bytes, c.cpu_ops) == (11, 2, 3, 44)
+
+
+def quiet_model(**kwargs) -> CostModel:
+    """A model with overheads zeroed and unit software factor, for exact checks."""
+    defaults = dict(task_overhead_s=0.0, stage_overhead_s=0.0, disk_seek_s=0.0,
+                    software_factor=1.0)
+    defaults.update(kwargs)
+    return CostModel(**defaults)
+
+
+class TestClusterSimulator:
+    def test_single_task_stage(self):
+        sim = ClusterSimulator(quiet_model())
+        report = sim.run_stage("scan", [TaskCost(cpu_ops=int(1.5e9))])
+        assert report.sim_seconds == pytest.approx(1.0)
+
+    def test_parallelism_speeds_up(self):
+        """112 equal CPU tasks on 112 cores take ~1 task's time."""
+        model = quiet_model()
+        sim = ClusterSimulator(model)
+        tasks = [TaskCost(cpu_ops=int(1.5e9))] * model.total_cores
+        report = sim.run_stage("parallel", tasks)
+        assert report.sim_seconds == pytest.approx(1.0)
+
+    def test_more_tasks_than_cores_queue(self):
+        model = quiet_model(n_nodes=1, cores_per_node=2)
+        sim = ClusterSimulator(model)
+        tasks = [TaskCost(cpu_ops=int(1.5e9))] * 4
+        report = sim.run_stage("queued", tasks)
+        assert report.sim_seconds == pytest.approx(2.0)
+
+    def test_lpt_balances_uneven_tasks(self):
+        model = quiet_model(n_nodes=1, cores_per_node=2)
+        sim = ClusterSimulator(model)
+        # Durations 4, 3, 2, 1 on 2 cores: LPT gives makespan 5 (4+1, 3+2).
+        tasks = [TaskCost(cpu_ops=int(x * 1.5e9)) for x in (4, 3, 2, 1)]
+        report = sim.run_stage("lpt", tasks)
+        assert report.sim_seconds == pytest.approx(5.0)
+
+    def test_empty_stage(self):
+        sim = ClusterSimulator()
+        report = sim.run_stage("noop", [])
+        assert report.sim_seconds == 0.0
+        assert report.n_tasks == 0
+
+    def test_io_bound_stage_limited_by_node_bandwidth(self):
+        """Extra cores cannot speed up a disk-bound stage."""
+        model = quiet_model(n_nodes=1, cores_per_node=56, disk_read_mb_s=100.0)
+        sim = ClusterSimulator(model)
+        mb = 1024 * 1024
+        tasks = [TaskCost(read_bytes=100 * mb)] * 56
+        report = sim.run_stage("scan", tasks)
+        # 5600 MB through one 100 MB/s disk = 56 s, regardless of cores.
+        assert report.sim_seconds == pytest.approx(56.0, rel=1e-3)
+
+    def test_stage_overhead_applied_once(self):
+        model = quiet_model(stage_overhead_s=2.5)
+        sim = ClusterSimulator(model)
+        report = sim.run_stage("o", [TaskCost(), TaskCost()])
+        assert report.sim_seconds == pytest.approx(2.5)
+
+    def test_per_task_overhead_serialises_on_one_core(self):
+        model = quiet_model(n_nodes=1, cores_per_node=1, task_overhead_s=0.5)
+        sim = ClusterSimulator(model)
+        report = sim.run_stage("o", [TaskCost(), TaskCost()])
+        assert report.sim_seconds == pytest.approx(1.0)
+
+    def test_report_accumulates_stages(self):
+        sim = ClusterSimulator(quiet_model())
+        sim.run_stage("a", [TaskCost(cpu_ops=int(1.5e9))])
+        sim.run_stage("b", [TaskCost(cpu_ops=int(3e9))])
+        assert sim.report.total_seconds == pytest.approx(3.0)
+        assert sim.report.seconds_for("a") == pytest.approx(1.0)
+
+    def test_fresh_report_resets(self):
+        sim = ClusterSimulator()
+        sim.run_stage("a", [TaskCost(cpu_ops=100)])
+        first = sim.fresh_report()
+        assert len(first.stages) == 1
+        assert len(sim.report.stages) == 0
+
+    def test_driver_step_is_serial(self):
+        sim = ClusterSimulator(quiet_model())
+        report = sim.run_driver_step("driver", TaskCost(cpu_ops=int(1.5e9)))
+        assert report.sim_seconds == pytest.approx(1.0)
+
+    def test_broadcast_cost_scales_with_nodes(self):
+        small = ClusterSimulator(CostModel(n_nodes=2))
+        large = ClusterSimulator(CostModel(n_nodes=8))
+        nbytes = 10 * 1024 * 1024
+        assert (
+            large.broadcast("b", nbytes).sim_seconds
+            > small.broadcast("b", nbytes).sim_seconds
+        )
+
+    def test_broadcast_rejects_negative(self):
+        sim = ClusterSimulator()
+        with pytest.raises(ConfigurationError):
+            sim.broadcast("b", -1)
+
+    def test_report_merge_and_str(self):
+        sim = ClusterSimulator()
+        sim.run_stage("x", [TaskCost(cpu_ops=100)])
+        other = ClusterSimulator()
+        other.run_stage("y", [TaskCost(cpu_ops=100)])
+        rep = sim.fresh_report()
+        rep.merge(other.fresh_report())
+        assert len(rep.stages) == 2
+        assert "total:" in str(rep)
+
+
+class TestScanVsIndexShape:
+    """The macro property Table I / Fig. 7 depend on: full scans of paper-scale
+    data are minutes, few-partition index probes stay around ten seconds."""
+
+    def test_full_scan_dwarfs_partition_read(self):
+        model = CostModel()
+        sim = ClusterSimulator(model)
+        total = 200e9  # 200 GB dataset
+        n_parts = int(total // (64 * 1024 * 1024))
+        per_part = TaskCost(read_bytes=64 * 1024 * 1024, cpu_ops=int(64e6))
+        scan = sim.run_stage("scan", [per_part] * n_parts)
+        index_read = sim.run_stage("probe", [per_part] * 4)
+        # Paper Fig. 7(a): Dss ~860 s vs CLIMBER ~13 s at 200 GB.
+        assert scan.sim_seconds > 40 * index_read.sim_seconds
+        assert 100 < scan.sim_seconds < 2_000
+        assert index_read.sim_seconds < 20

@@ -1,0 +1,46 @@
+"""Tests for ClimberIndex.describe()."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ClimberConfig, ClimberIndex
+from repro.datasets import random_walk_dataset
+
+
+@pytest.fixture(scope="module")
+def index():
+    ds = random_walk_dataset(1200, 32, seed=8)
+    cfg = ClimberConfig(word_length=8, n_pivots=24, prefix_length=5,
+                        capacity=150, sample_fraction=0.3,
+                        n_input_partitions=8, seed=2)
+    return ClimberIndex.build(ds, cfg)
+
+
+class TestDescribe:
+    def test_keys(self, index):
+        info = index.describe()
+        assert {
+            "records", "groups", "partitions", "trie_nodes",
+            "global_index_bytes", "mean_partition_records",
+            "max_partition_records",
+        } <= set(info)
+
+    def test_consistency_with_properties(self, index):
+        info = index.describe()
+        assert info["records"] == index.n_records
+        assert info["groups"] == index.n_groups
+        assert info["partitions"] == index.n_partitions
+        assert info["global_index_bytes"] == index.global_index_nbytes
+
+    def test_partition_stats_plausible(self, index):
+        info = index.describe()
+        assert 0 < info["mean_partition_records"] <= info["max_partition_records"]
+        assert info["partitions_written"] <= info["partitions"]
+
+    def test_record_conservation(self, index):
+        info = index.describe()
+        assert (
+            info["mean_partition_records"] * info["partitions_written"]
+            == pytest.approx(info["records"], rel=1e-9)
+        )

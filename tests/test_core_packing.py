@@ -1,0 +1,101 @@
+"""Tests for node packing (Def. 13): FFD and the ablation packers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import first_fit, first_fit_decreasing, one_per_bin
+from repro.exceptions import ConfigurationError
+
+
+class TestFirstFitDecreasing:
+    def test_exact_fit(self):
+        bins = first_fit_decreasing([("a", 5.0), ("b", 5.0)], capacity=5.0)
+        assert len(bins) == 2
+
+    def test_packs_small_after_large(self):
+        items = [("big", 7.0), ("mid", 5.0), ("s1", 3.0), ("s2", 3.0), ("s3", 2.0)]
+        bins = first_fit_decreasing(items, capacity=10.0)
+        # Optimal here is 2 bins: {7,3} and {5,3,2}; FFD finds it.
+        assert len(bins) == 2
+        sizes = dict(items)
+        for b in bins:
+            assert sum(sizes[k] for k in b) <= 10.0
+
+    def test_oversized_item_gets_own_bin(self):
+        bins = first_fit_decreasing([("huge", 50.0), ("tiny", 1.0)], capacity=10.0)
+        assert ["huge"] in bins
+
+    def test_all_keys_preserved(self):
+        items = [(i, float(i % 7) + 0.5) for i in range(40)]
+        bins = first_fit_decreasing(items, capacity=9.0)
+        packed = sorted(k for b in bins for k in b)
+        assert packed == list(range(40))
+
+    def test_empty_items(self):
+        assert first_fit_decreasing([], capacity=5.0) == []
+
+    def test_zero_size_items_share_one_bin(self):
+        bins = first_fit_decreasing([("a", 0.0), ("b", 0.0)], capacity=5.0)
+        assert len(bins) == 1
+
+    def test_rejects_negative_size(self):
+        with pytest.raises(ConfigurationError):
+            first_fit_decreasing([("a", -1.0)], capacity=5.0)
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ConfigurationError):
+            first_fit_decreasing([("a", 1.0)], capacity=0.0)
+
+    def test_deterministic_under_equal_sizes(self):
+        items = [("b", 2.0), ("a", 2.0), ("c", 2.0)]
+        assert first_fit_decreasing(items, 10.0) == first_fit_decreasing(
+            list(reversed(items)), 10.0
+        )
+
+
+class TestAblationPackers:
+    def test_first_fit_respects_capacity(self):
+        items = [(i, 3.0) for i in range(7)]
+        bins = first_fit(items, capacity=7.0)
+        for b in bins:
+            assert len(b) <= 2
+
+    def test_ffd_never_worse_than_first_fit(self):
+        rng = np.random.default_rng(11)
+        for _ in range(20):
+            items = [(i, float(s)) for i, s in
+                     enumerate(rng.uniform(0.5, 8.0, size=30))]
+            ffd = first_fit_decreasing(items, capacity=10.0)
+            ff = first_fit(items, capacity=10.0)
+            assert len(ffd) <= len(ff)
+
+    def test_one_per_bin(self):
+        items = [("a", 1.0), ("b", 2.0)]
+        assert one_per_bin(items, capacity=10.0) == [["a"], ["b"]]
+
+
+@given(st.data())
+@settings(max_examples=60, deadline=None)
+def test_ffd_invariants_property(data):
+    """Properties: coverage, disjointness, capacity (for non-oversized items),
+    and the first-fit half-full guarantee."""
+    rng = np.random.default_rng(data.draw(st.integers(0, 2**32 - 1)))
+    n = data.draw(st.integers(1, 60))
+    capacity = data.draw(st.floats(1.0, 50.0))
+    sizes = rng.uniform(0.0, capacity, size=n)
+    items = [(i, float(s)) for i, s in enumerate(sizes)]
+    bins = first_fit_decreasing(items, capacity)
+
+    packed = sorted(k for b in bins for k in b)
+    assert packed == list(range(n))  # coverage + disjointness
+    size_of = dict(items)
+    loads = [sum(size_of[k] for k in b) for b in bins]
+    for load in loads:
+        assert load <= capacity + 1e-9
+    # First-fit guarantee: at most one bin can end up at most half full
+    # (otherwise the later bin's first item would have fit the earlier one).
+    assert sum(1 for load in loads if load <= capacity / 2) <= 1

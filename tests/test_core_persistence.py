@@ -1,0 +1,81 @@
+"""Tests for index persistence: save_global_index / reopen."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ClimberConfig, ClimberIndex
+from repro.datasets import random_walk_dataset
+from repro.exceptions import ConfigurationError
+from repro.storage import SimulatedDFS
+
+
+CFG = ClimberConfig(word_length=8, n_pivots=24, prefix_length=5,
+                    capacity=120, sample_fraction=0.25,
+                    n_input_partitions=12, seed=4)
+
+
+@pytest.fixture(scope="module")
+def built():
+    ds = random_walk_dataset(1500, 48, seed=3)
+    dfs = SimulatedDFS()
+    index = ClimberIndex.build(ds, CFG, dfs=dfs)
+    return ds, dfs, index
+
+
+class TestPersistence:
+    def test_global_index_roundtrips(self, built):
+        _, dfs, index = built
+        blob = index.save_global_index()
+        reopened = ClimberIndex.reopen(blob, dfs, CFG)
+        assert reopened.n_groups == index.n_groups
+        assert reopened.n_partitions == index.n_partitions
+        np.testing.assert_array_equal(reopened.pivots, index.pivots)
+
+    def test_reopened_index_answers_identically(self, built):
+        ds, dfs, index = built
+        reopened = ClimberIndex.reopen(index.save_global_index(), dfs, CFG)
+        for i in (0, 77, 512, 1400):
+            a = index.knn(ds.values[i], 10, variant="knn")
+            b = reopened.knn(ds.values[i], 10, variant="knn")
+            np.testing.assert_array_equal(a.ids, b.ids)
+            np.testing.assert_allclose(a.distances, b.distances, atol=1e-12)
+
+    def test_reopened_adaptive_variant_works(self, built):
+        ds, dfs, index = built
+        reopened = ClimberIndex.reopen(index.save_global_index(), dfs, CFG)
+        res = reopened.knn(ds.values[9], 200, variant="adaptive")
+        assert len(res.ids) > 0
+
+    def test_reopen_counts_records(self, built):
+        ds, dfs, index = built
+        reopened = ClimberIndex.reopen(index.save_global_index(), dfs, CFG)
+        assert reopened.n_records == ds.count
+
+    def test_reopen_rejects_mismatched_prefix(self, built):
+        _, dfs, index = built
+        bad = ClimberConfig(word_length=8, n_pivots=24, prefix_length=6,
+                            capacity=120, sample_fraction=0.25)
+        with pytest.raises(ConfigurationError):
+            ClimberIndex.reopen(index.save_global_index(), dfs, bad)
+
+    def test_disk_backed_end_to_end(self, tmp_path):
+        """Build on a disk-backed DFS, reopen, query — fully persistent."""
+        ds = random_walk_dataset(800, 32, seed=6)
+        cfg = ClimberConfig(word_length=8, n_pivots=16, prefix_length=4,
+                            capacity=100, sample_fraction=0.3,
+                            n_input_partitions=8, seed=1)
+        dfs = SimulatedDFS(backing_dir=tmp_path / "dfs")
+        index = ClimberIndex.build(ds, cfg, dfs=dfs)
+        blob = index.save_global_index()
+        (tmp_path / "global.idx").write_bytes(blob)
+
+        # A fresh process would do exactly this:
+        dfs2 = SimulatedDFS(backing_dir=tmp_path / "dfs")
+        assert dfs2.attach() == len(dfs)
+        reopened = ClimberIndex.reopen(
+            (tmp_path / "global.idx").read_bytes(), dfs2, cfg
+        )
+        res = reopened.knn(ds.values[5], 5)
+        assert res.ids[0] == ds.ids[5]

@@ -1,0 +1,122 @@
+"""Unit tests for the query-side internals of ClimberIndex."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ClimberConfig, ClimberIndex, cluster_key
+from repro.datasets import random_walk_dataset
+
+
+CFG = ClimberConfig(word_length=8, n_pivots=48, prefix_length=6,
+                    capacity=120, sample_fraction=0.25,
+                    n_input_partitions=16, seed=13)
+
+
+@pytest.fixture(scope="module")
+def built():
+    ds = random_walk_dataset(2500, 64, seed=21)
+    return ds, ClimberIndex.build(ds, CFG)
+
+
+class TestGroupCandidatesSlack:
+    def test_slack_widens_candidate_pool(self, built):
+        ds, idx = built
+        sig = idx.query_signature(ds.values[3])
+        strict = idx.group_candidates(sig, od_slack=0)
+        slack = idx.group_candidates(sig, od_slack=2)
+        assert len(slack) >= len(strict)
+        # The strict set is a prefix of the slack set in OD order.
+        assert {c.entry.group_id for c in strict} <= {
+            c.entry.group_id for c in slack
+        }
+
+    def test_slack_never_includes_no_overlap_groups(self, built):
+        ds, idx = built
+        sig = idx.query_signature(ds.values[7])
+        m = CFG.prefix_length
+        for c in idx.group_candidates(sig, od_slack=m):
+            assert c.od < m or c.entry.is_fallback
+
+    def test_primary_always_at_min_od(self, built):
+        ds, idx = built
+        for i in (1, 50, 400, 2000):
+            sig = idx.query_signature(ds.values[i])
+            cands = idx.group_candidates(sig, od_slack=2)
+            primary = idx.select_primary(cands)
+            assert primary.od == min(c.od for c in cands)
+
+
+class TestCovered:
+    def test_node_inside_selected_subtree(self, built):
+        _, idx = built
+        entry = idx.skeleton.groups[1]
+        root = entry.trie
+        if root.is_leaf:
+            pytest.skip("group 1 trie has no children in this build")
+        child = next(iter(root.children.values()))
+        assert ClimberIndex._covered([(entry, root)], entry, child)
+        assert not ClimberIndex._covered([(entry, child)], entry, root)
+
+    def test_different_groups_never_cover(self, built):
+        _, idx = built
+        a = idx.skeleton.groups[1]
+        b = idx.skeleton.groups[2]
+        assert not ClimberIndex._covered([(a, a.trie)], b, b.trie)
+
+
+class TestTargetKeys:
+    def test_root_selection_includes_default_cluster(self, built):
+        _, idx = built
+        entry = idx.skeleton.groups[1]
+        keys = idx._target_keys(entry, entry.trie)
+        assert cluster_key(entry.group_id, None) in keys
+
+    def test_leaf_selection_is_single_key(self, built):
+        _, idx = built
+        entry = idx.skeleton.groups[1]
+        leaves = list(entry.trie.leaves())
+        if leaves[0] is entry.trie:
+            pytest.skip("group 1 trie is a single leaf")
+        keys = idx._target_keys(entry, leaves[0])
+        assert keys == [cluster_key(entry.group_id, leaves[0].path)]
+
+
+class TestKnnBatch:
+    def test_batch_matches_singles(self, built):
+        ds, idx = built
+        batch = idx.knn_batch(ds.values[:4], 5, variant="knn")
+        assert len(batch) == 4
+        for i, res in enumerate(batch):
+            single = idx.knn(ds.values[i], 5, variant="knn")
+            np.testing.assert_array_equal(res.ids, single.ids)
+
+    def test_single_row_input(self, built):
+        ds, idx = built
+        out = idx.knn_batch(ds.values[0], 3)
+        assert len(out) == 1
+        assert len(out[0].ids) == 3
+
+
+class TestAdaptiveBudget:
+    def test_expansion_subsumes_descendants(self, built):
+        """Selecting an ancestor must remove its selected descendants."""
+        ds, idx = built
+        # Force heavy expansion with a large k.
+        res = idx.knn(ds.values[11], 800, variant="adaptive", adaptive_factor=8)
+        assert len(res.ids) == 800 or res.stats.records_examined >= len(res.ids)
+
+    def test_factor_one_equals_knn_partitions(self, built):
+        ds, idx = built
+        for i in (5, 25, 125):
+            a = idx.knn(ds.values[i], 300, variant="adaptive", adaptive_factor=1)
+            b = idx.knn(ds.values[i], 300, variant="knn")
+            assert a.stats.n_partitions <= max(1, b.stats.n_partitions) + 1
+
+    def test_larger_factor_never_fewer_partitions(self, built):
+        ds, idx = built
+        for i in (9, 99, 999):
+            small = idx.knn(ds.values[i], 600, variant="adaptive", adaptive_factor=2)
+            large = idx.knn(ds.values[i], 600, variant="adaptive", adaptive_factor=6)
+            assert large.stats.n_partitions >= small.stats.n_partitions

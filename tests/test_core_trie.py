@@ -1,0 +1,155 @@
+"""Tests for the group partition trie (§IV-D, paper Fig. 5)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import build_group_trie
+from repro.exceptions import ConfigurationError
+
+
+def paper_figure5_group():
+    """A group shaped like the paper's G3 example: 5 250 records, c=3 000."""
+    sigs = [
+        (6, 2, 1), (6, 2, 5), (6, 7, 1), (6, 7, 3),
+        (4, 1, 2), (5, 3, 2), (1, 2, 6),
+    ]
+    counts = [1200.0, 900.0, 800.0, 800.0, 900.0, 400.0, 250.0]
+    return build_group_trie(sigs, counts, capacity=3000.0)
+
+
+class TestBuildTrie:
+    def test_total_count(self):
+        root = paper_figure5_group()
+        assert root.count == pytest.approx(5250.0)
+
+    def test_root_splits_on_first_pivot(self):
+        root = paper_figure5_group()
+        assert set(root.children) == {6, 4, 5, 1}
+        assert root.children[6].count == pytest.approx(3700.0)
+        assert root.children[4].count == pytest.approx(900.0)
+
+    def test_oversized_child_splits_recursively(self):
+        """Pivot-6 child (3 700 > 3 000) must split by second pivot."""
+        root = paper_figure5_group()
+        six = root.children[6]
+        assert not six.is_leaf
+        assert set(six.children) == {2, 7}
+        assert six.children[2].count == pytest.approx(2100.0)
+        assert six.children[7].count == pytest.approx(1600.0)
+
+    def test_within_capacity_children_stay_leaves(self):
+        root = paper_figure5_group()
+        assert root.children[4].is_leaf
+        assert root.children[5].is_leaf
+
+    def test_small_group_is_single_leaf(self):
+        root = build_group_trie([(1, 2, 3)], [10.0], capacity=100.0)
+        assert root.is_leaf
+        assert root.count == 10.0
+
+    def test_empty_group(self):
+        root = build_group_trie([], [], capacity=100.0)
+        assert root.is_leaf
+        assert root.count == 0.0
+
+    def test_leaf_counts_sum_to_total(self):
+        rng = np.random.default_rng(4)
+        sigs = [tuple(rng.choice(20, size=4, replace=False)) for _ in range(150)]
+        counts = rng.integers(1, 500, size=150).astype(float).tolist()
+        root = build_group_trie(sigs, counts, capacity=800.0)
+        assert sum(l.count for l in root.leaves()) == pytest.approx(sum(counts))
+
+    def test_split_stops_at_prefix_exhaustion(self):
+        """Identical signatures cannot split further even above capacity."""
+        root = build_group_trie([(1, 2)], [1e6], capacity=10.0)
+        node = root.descend((1, 2))
+        assert node.is_leaf
+        assert node.depth == 2
+        assert node.count == 1e6
+
+    def test_mismatched_inputs(self):
+        with pytest.raises(ConfigurationError):
+            build_group_trie([(1, 2)], [1.0, 2.0], capacity=10.0)
+
+    def test_bad_capacity(self):
+        with pytest.raises(ConfigurationError):
+            build_group_trie([(1, 2)], [1.0], capacity=0.0)
+
+
+class TestDescend:
+    def test_full_path(self):
+        root = paper_figure5_group()
+        node = root.descend((6, 2, 1))
+        assert node.path == (6, 2)  # leaf at depth 2 (2 100 <= 3 000)
+
+    def test_paper_example2_stops_at_internal_node(self):
+        """Query <6,2,7>: lands on the pivot-6/2 subtree of G3."""
+        root = paper_figure5_group()
+        node = root.descend((6, 2, 7))
+        assert node.path == (6, 2)
+
+    def test_unknown_first_pivot_returns_root(self):
+        root = paper_figure5_group()
+        assert root.descend((9, 9, 9)) is root
+
+    def test_descend_path_lists_all_nodes(self):
+        root = paper_figure5_group()
+        nodes = root.descend_path((6, 2, 1))
+        assert [n.path for n in nodes] == [(), (6,), (6, 2)]
+
+    def test_descend_on_leaf_root(self):
+        root = build_group_trie([(1, 2)], [5.0], capacity=10.0)
+        assert root.descend((1, 2)) is root
+
+
+class TestPartitionBookkeeping:
+    def test_finalize_propagates_unions(self):
+        root = paper_figure5_group()
+        for i, leaf in enumerate(root.leaves()):
+            leaf.partition_ids = {i % 2}
+        root.finalize_partitions()
+        assert root.partition_ids == {0, 1}
+        six = root.children[6]
+        assert six.partition_ids == six.subtree_partition_ids()
+
+    def test_node_count(self):
+        root = paper_figure5_group()
+        leaves = sum(1 for _ in root.leaves())
+        assert root.node_count() >= leaves
+        single = build_group_trie([(1, 2)], [1.0], capacity=10.0)
+        assert single.node_count() == 1
+
+    def test_repr_smoke(self):
+        assert "TrieNode" in repr(paper_figure5_group())
+
+
+@given(st.data())
+@settings(max_examples=40, deadline=None)
+def test_trie_invariants_property(data):
+    """Properties: disjoint leaf coverage, capacity respected where splittable."""
+    rng = np.random.default_rng(data.draw(st.integers(0, 2**32 - 1)))
+    m = data.draw(st.integers(2, 5))
+    n_sigs = data.draw(st.integers(1, 60))
+    capacity = data.draw(st.floats(1.0, 500.0))
+    sigs = [tuple(rng.choice(12, size=m, replace=False)) for _ in range(n_sigs)]
+    # Deduplicate (build_group_trie expects distinct signatures with counts).
+    uniq = {}
+    for s in sigs:
+        uniq[s] = uniq.get(s, 0.0) + float(rng.integers(1, 50))
+    root = build_group_trie(list(uniq), list(uniq.values()), capacity)
+
+    # (1) Leaves partition the mass.
+    assert sum(l.count for l in root.leaves()) == pytest.approx(sum(uniq.values()))
+    # (2) Every signature routes to exactly one leaf, consistent with prefix.
+    for sig in uniq:
+        node = root.descend(sig)
+        assert node.path == sig[: node.depth]
+    # (3) A leaf above capacity can exist only once its prefix is exhausted
+    #     (capacity is a soft constraint, §V).
+    for leaf in root.leaves():
+        if leaf.count > capacity:
+            assert leaf.depth == m

@@ -1,0 +1,106 @@
+"""Tests for ground truth, the evaluation harness, and reporting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import DssScanner
+from repro.datasets import random_walk_dataset, sample_queries
+from repro.evaluation import (
+    evaluate_system,
+    exact_ground_truth,
+    fmt_duration,
+    render_table,
+    write_csv,
+)
+from repro.exceptions import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def workload():
+    ds = random_walk_dataset(600, 32, seed=6)
+    qs = sample_queries(ds, 8, seed=1)
+    truth = exact_ground_truth(ds, qs, 10)
+    return ds, qs, truth
+
+
+class TestGroundTruth:
+    def test_length_and_k(self, workload):
+        _, qs, truth = workload
+        assert len(truth) == 8
+        assert truth.k == 10
+
+    def test_self_is_neighbor(self, workload):
+        """Queries drawn from the dataset contain themselves in ground truth."""
+        _, qs, truth = workload
+        for qi, qid in enumerate(qs.ids):
+            assert qid in truth.neighbors_of(qi)
+
+    def test_recall_perfect(self, workload):
+        _, _, truth = workload
+        assert truth.recall_of(0, truth.neighbors_of(0)) == 1.0
+
+    def test_recall_partial(self, workload):
+        _, _, truth = workload
+        half = truth.neighbors_of(0)[:5]
+        assert truth.recall_of(0, half) == pytest.approx(0.5)
+
+    def test_recall_zero(self, workload):
+        _, _, truth = workload
+        assert truth.recall_of(0, np.array([-1, -2])) == 0.0
+
+    def test_rejects_bad_k(self, workload):
+        ds, qs, _ = workload
+        with pytest.raises(ConfigurationError):
+            exact_ground_truth(ds, qs, 0)
+
+
+class TestEvaluateSystem:
+    def test_exact_system_scores_one(self, workload):
+        ds, qs, truth = workload
+        dss = DssScanner.build(ds, n_partitions=4)
+        ev = evaluate_system("Dss", dss.knn, qs, truth, 10)
+        assert ev.recall == pytest.approx(1.0)
+        assert ev.system == "Dss"
+        assert ev.n_queries == 8
+        assert ev.partitions == 4.0
+        assert ev.sim_seconds > 0
+
+    def test_row_is_flat(self, workload):
+        ds, qs, truth = workload
+        dss = DssScanner.build(ds, n_partitions=4)
+        row = evaluate_system("Dss", dss.knn, qs, truth, 10).row()
+        assert row["recall"] == 1.0
+        assert set(row) >= {"system", "k", "recall", "query_sim_s"}
+
+
+class TestReporting:
+    def test_render_table_alignment(self):
+        out = render_table("T", [{"a": 1, "bb": "x"}, {"a": 22, "bb": "yy"}])
+        lines = out.splitlines()
+        assert lines[0] == "== T =="
+        assert len({len(line) for line in lines[1:]}) == 1
+
+    def test_render_empty(self):
+        assert "(no rows)" in render_table("T", [])
+
+    def test_render_column_subset(self):
+        out = render_table("T", [{"a": 1, "b": 2}], columns=["b"])
+        assert "a" not in out.splitlines()[1]
+
+    def test_write_csv_roundtrip(self, tmp_path):
+        rows = [{"x": 1, "y": "a"}, {"x": 2, "y": "b"}]
+        path = write_csv(tmp_path / "sub" / "out.csv", rows)
+        text = path.read_text().strip().splitlines()
+        assert text[0] == "x,y"
+        assert text[1] == "1,a"
+
+    def test_write_csv_empty(self, tmp_path):
+        path = write_csv(tmp_path / "empty.csv", [])
+        assert path.read_text() == ""
+
+    def test_fmt_duration(self):
+        assert fmt_duration(12.34) == "12.3s"
+        assert fmt_duration(600) == "10.0m"
+        assert fmt_duration(float("nan")) == "X"

@@ -1,0 +1,39 @@
+"""Tests for the top-level package surface."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+
+
+class TestLazyExports:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_climber_exports(self):
+        assert repro.ClimberIndex is not None
+        assert repro.ClimberConfig is not None
+        assert repro.QueryResult is not None
+
+    def test_dataset_exports(self):
+        ds = repro.random_walk_dataset(10, 16, seed=1)
+        assert isinstance(ds, repro.SeriesDataset)
+        assert repro.make_dataset("DNA", 5).count == 5
+
+    def test_unknown_attribute(self):
+        with pytest.raises(AttributeError):
+            repro.does_not_exist
+
+    def test_end_to_end_via_top_level(self):
+        ds = repro.random_walk_dataset(500, 32, seed=2)
+        cfg = repro.ClimberConfig(word_length=8, n_pivots=16, prefix_length=4,
+                                  capacity=100, sample_fraction=0.3,
+                                  n_input_partitions=8)
+        index = repro.ClimberIndex.build(ds, cfg)
+        res = index.knn(ds.values[0], 5)
+        assert len(res.ids) == 5
+
+    def test_exceptions_importable(self):
+        assert issubclass(repro.MemoryBudgetExceeded, repro.ReproError)
+        assert issubclass(repro.ConfigurationError, repro.ReproError)

@@ -1,0 +1,173 @@
+"""Tests for iSAX words, the iSAX space, and the MINDIST pruning bound."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.series import (
+    ISaxSpace,
+    ISaxWord,
+    euclidean,
+    paa_transform,
+    znormalize,
+)
+
+
+@pytest.fixture(scope="module")
+def space() -> ISaxSpace:
+    return ISaxSpace(word_length=4, series_length=32, max_bits=8)
+
+
+@pytest.fixture(scope="module")
+def sample_data():
+    rng = np.random.default_rng(42)
+    data = znormalize(rng.normal(size=(300, 32)).cumsum(axis=1))
+    return data
+
+
+class TestISaxWord:
+    def test_str_rendering(self):
+        w = ISaxWord((0, 2, 0), (2, 3, 0))
+        assert str(w) == "[00,010,*]"
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ConfigurationError):
+            ISaxWord((0, 1), (1,))
+
+    def test_rejects_symbol_out_of_bit_range(self):
+        with pytest.raises(ConfigurationError):
+            ISaxWord((4,), (2,))
+
+    def test_split_produces_two_children(self):
+        w = ISaxWord((1,), (1,))
+        c0, c1 = w.split(0)
+        assert c0.symbols == (2,) and c0.bits == (2,)
+        assert c1.symbols == (3,) and c1.bits == (2,)
+
+    def test_split_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            ISaxWord((0,), (1,)).split(3)
+
+    def test_parent_covers_children(self):
+        w = ISaxWord((1, 0), (1, 1))
+        c0, c1 = w.split(0)
+        assert w.covers(c0)
+        assert w.covers(c1)
+        assert not c0.covers(w)
+
+    def test_siblings_do_not_cover_each_other(self):
+        c0, c1 = ISaxWord((1,), (1,)).split(0)
+        assert not c0.covers(c1)
+        assert not c1.covers(c0)
+
+    def test_root_covers_everything(self):
+        root = ISaxWord((0, 0), (0, 0))
+        assert root.covers(ISaxWord((3, 1), (2, 2)))
+
+
+class TestISaxSpace:
+    def test_encode_shape(self, space, sample_data):
+        paa = paa_transform(sample_data, 4)
+        syms = space.encode_paa(paa)
+        assert syms.shape == (300, 4)
+        assert syms.max() < 256
+
+    def test_encode_rejects_wrong_word_length(self, space):
+        with pytest.raises(ConfigurationError):
+            space.encode_paa(np.zeros((2, 5)))
+
+    def test_word_at_prefix_consistency(self, space, sample_data):
+        """Coarsening must equal right-shifting the full symbols."""
+        paa = paa_transform(sample_data, 4)
+        full = space.encode_paa(paa)
+        w = space.word_at(full[0], (2, 2, 2, 2))
+        expect = tuple(int(s) >> 6 for s in full[0])
+        assert w.symbols == expect
+
+    def test_word_at_zero_bits_is_wildcard(self, space, sample_data):
+        paa = paa_transform(sample_data, 4)
+        full = space.encode_paa(paa)
+        w = space.word_at(full[0], (0, 0, 0, 0))
+        assert w == space.root_word()
+
+    def test_matches_root_covers_all(self, space, sample_data):
+        full = space.encode_paa(paa_transform(sample_data, 4))
+        mask = space.matches(space.root_word(), full)
+        assert mask.all()
+
+    def test_matches_partitions_space(self, space, sample_data):
+        """Splitting a word partitions the set it covers into its children."""
+        full = space.encode_paa(paa_transform(sample_data, 4))
+        word = space.root_word()
+        c0, c1 = word.split(0)
+        m0 = space.matches(c0, full)
+        m1 = space.matches(c1, full)
+        assert not np.any(m0 & m1)
+        assert np.all(m0 | m1)
+
+    def test_own_word_matches_self(self, space, sample_data):
+        full = space.encode_paa(paa_transform(sample_data, 4))
+        for i in range(0, 300, 50):
+            w = space.word_at(full[i], (8, 8, 8, 8))
+            assert space.matches(w, full[i : i + 1])[0]
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            ISaxSpace(0, 32)
+        with pytest.raises(ConfigurationError):
+            ISaxSpace(4, 32, max_bits=0)
+        with pytest.raises(ConfigurationError):
+            ISaxSpace(40, 32)
+
+
+class TestMindist:
+    def test_covering_word_gives_zero(self, space, sample_data):
+        paa = paa_transform(sample_data, 4)
+        full = space.encode_paa(paa)
+        w = space.word_at(full[0], (3, 3, 3, 3))
+        assert space.mindist_paa(paa[0], w) == 0.0
+
+    def test_lower_bounds_true_distance(self, space, sample_data):
+        """Core pruning invariant: MINDIST(q, word) <= ED(q, any covered series)."""
+        paa = paa_transform(sample_data, 4)
+        full = space.encode_paa(paa)
+        q_idx = 5
+        for bits in [(1, 1, 1, 1), (3, 3, 3, 3), (8, 8, 8, 8)]:
+            for i in range(0, 300, 17):
+                w = space.word_at(full[i], bits)
+                lb = space.mindist_paa(paa[q_idx], w)
+                assert lb <= euclidean(sample_data[q_idx], sample_data[i]) + 1e-9
+
+    def test_wildcard_segments_contribute_zero(self, space):
+        q = np.array([5.0, 5.0, 5.0, 5.0])
+        assert space.mindist_paa(q, space.root_word()) == 0.0
+
+    def test_monotone_under_refinement(self, space, sample_data):
+        """Refining a word can only increase (never decrease) MINDIST."""
+        paa = paa_transform(sample_data, 4)
+        full = space.encode_paa(paa)
+        q = paa[3]
+        prev = 0.0
+        for b in range(0, 9):
+            w = space.word_at(full[100], (b, b, b, b))
+            lb = space.mindist_paa(q, w)
+            assert lb >= prev - 1e-12
+            prev = lb
+
+
+@given(st.integers(1, 6), st.integers(0, 63))
+@settings(max_examples=60, deadline=None)
+def test_split_preserves_coverage(bits, raw_symbol):
+    """Property: the union of a split's children covers exactly the parent."""
+    symbol = raw_symbol % (1 << bits)
+    parent = ISaxWord((symbol,), (bits,))
+    c0, c1 = parent.split(0)
+    # Any refinement of the parent at bits+1 must fall in exactly one child.
+    for next_bit in (0, 1):
+        refined = ISaxWord(((symbol << 1) | next_bit,), (bits + 1,))
+        assert parent.covers(refined)
+        assert c0.covers(refined) != c1.covers(refined)

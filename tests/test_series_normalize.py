@@ -1,0 +1,69 @@
+"""Tests for z-normalisation."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.series import is_znormalized, znormalize
+
+
+class TestZnormalize:
+    def test_mean_zero_std_one(self, rng):
+        x = rng.normal(loc=5.0, scale=3.0, size=(20, 50))
+        z = znormalize(x)
+        np.testing.assert_allclose(z.mean(axis=1), 0.0, atol=1e-12)
+        np.testing.assert_allclose(z.std(axis=1), 1.0, atol=1e-12)
+
+    def test_constant_series_becomes_zeros(self):
+        z = znormalize(np.full((2, 10), 7.0))
+        np.testing.assert_array_equal(z, np.zeros((2, 10)))
+
+    def test_mixed_constant_and_varying_rows(self):
+        x = np.vstack([np.full(10, 3.0), np.arange(10.0)])
+        z = znormalize(x)
+        np.testing.assert_array_equal(z[0], 0.0)
+        assert abs(z[1].std() - 1.0) < 1e-12
+
+    def test_does_not_mutate_input(self):
+        x = np.arange(10.0).reshape(1, 10)
+        before = x.copy()
+        znormalize(x)
+        np.testing.assert_array_equal(x, before)
+
+    def test_idempotent(self, rng):
+        x = rng.normal(size=(5, 30))
+        once = znormalize(x)
+        twice = znormalize(once)
+        np.testing.assert_allclose(once, twice, atol=1e-12)
+
+    def test_scale_and_shift_invariance(self, rng):
+        x = rng.normal(size=(5, 30))
+        shifted = 4.0 * x + 11.0
+        np.testing.assert_allclose(znormalize(x), znormalize(shifted), atol=1e-9)
+
+
+class TestIsZnormalized:
+    def test_accepts_normalized(self, rng):
+        assert is_znormalized(znormalize(rng.normal(size=(5, 40))))
+
+    def test_rejects_unnormalized(self):
+        assert not is_znormalized(np.arange(10.0) + 100)
+
+    def test_accepts_flat_zero_rows(self):
+        assert is_znormalized(np.zeros((3, 10)))
+
+
+@given(
+    arrays(
+        np.float64,
+        st.tuples(st.integers(1, 8), st.integers(2, 40)),
+        elements=st.floats(-1e6, 1e6, allow_nan=False),
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_znormalize_always_valid(x):
+    """Property: output of znormalize always passes is_znormalized."""
+    assert is_znormalized(znormalize(x), atol=1e-5)

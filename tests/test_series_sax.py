@@ -1,0 +1,139 @@
+"""Tests for SAX breakpoints, words, and MINDIST."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.series import (
+    euclidean,
+    paa_transform,
+    sax_breakpoints,
+    sax_mindist,
+    sax_transform,
+    symbol_bounds,
+    znormalize,
+)
+
+
+class TestBreakpoints:
+    def test_cardinality_4_known_values(self):
+        bps = sax_breakpoints(4)
+        np.testing.assert_allclose(bps, [-0.6745, 0.0, 0.6745], atol=1e-4)
+
+    def test_cardinality_8_contains_paper_boundary(self):
+        """Paper Section III-B: stripe '111' starts at 1.15 for c=8."""
+        bps = sax_breakpoints(8)
+        assert bps[-1] == pytest.approx(1.1503, abs=1e-4)
+
+    def test_count(self):
+        for c in (2, 4, 8, 16, 32):
+            assert sax_breakpoints(c).shape == (c - 1,)
+
+    def test_sorted_and_symmetric(self):
+        bps = sax_breakpoints(16)
+        assert np.all(np.diff(bps) > 0)
+        np.testing.assert_allclose(bps, -bps[::-1], atol=1e-12)
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ConfigurationError):
+            sax_breakpoints(6)
+
+    def test_rejects_cardinality_one(self):
+        with pytest.raises(ConfigurationError):
+            sax_breakpoints(1)
+
+    def test_cached_instances_are_readonly(self):
+        bps = sax_breakpoints(4)
+        with pytest.raises(ValueError):
+            bps[0] = 0.0
+
+
+class TestSaxTransform:
+    def test_symbols_in_range(self, rng):
+        paa = paa_transform(znormalize(rng.normal(size=(50, 32))), 8)
+        syms = sax_transform(paa, 8)
+        assert syms.min() >= 0
+        assert syms.max() <= 7
+
+    def test_extreme_values_hit_extreme_symbols(self):
+        paa = np.array([[-10.0, 10.0]])
+        syms = sax_transform(paa, 8)
+        assert syms[0, 0] == 0
+        assert syms[0, 1] == 7
+
+    def test_zero_maps_to_middle(self):
+        syms = sax_transform(np.array([[0.0]]), 8)
+        # 0.0 is exactly the c/2 breakpoint; left-side search puts it below.
+        assert syms[0, 0] in (3, 4)
+
+    def test_monotone_in_value(self, rng):
+        vals = np.sort(rng.normal(size=(1, 64)))
+        syms = sax_transform(vals, 16)[0]
+        assert np.all(np.diff(syms.astype(int)) >= 0)
+
+    def test_equiprobable_on_gaussian(self, rng):
+        """On N(0,1) values each symbol should get roughly equal mass."""
+        vals = rng.normal(size=(1, 200_000))
+        counts = np.bincount(sax_transform(vals, 4)[0], minlength=4)
+        assert counts.min() > 0.2 * vals.size
+        assert counts.max() < 0.3 * vals.size
+
+
+class TestSymbolBounds:
+    def test_bounds_bracket_symbol_values(self, rng):
+        paa = paa_transform(znormalize(rng.normal(size=(20, 32))), 8)
+        syms = sax_transform(paa, 8)
+        lo, hi = symbol_bounds(syms, 8)
+        assert np.all(paa >= lo - 1e-12)
+        assert np.all(paa <= hi + 1e-12)
+
+    def test_extreme_symbols_unbounded(self):
+        lo, hi = symbol_bounds(np.array([0, 7]), 8)
+        assert lo[0] == -np.inf
+        assert hi[1] == np.inf
+
+    def test_rejects_out_of_range_symbol(self):
+        with pytest.raises(ConfigurationError):
+            symbol_bounds(np.array([8]), 8)
+
+
+class TestSaxMindist:
+    def test_equal_words_zero(self):
+        assert sax_mindist(np.array([3, 3]), np.array([3, 3]), 8, 32) == 0.0
+
+    def test_adjacent_symbols_zero(self):
+        assert sax_mindist(np.array([3]), np.array([4]), 8, 32) == 0.0
+
+    def test_symmetry(self, rng):
+        a = rng.integers(0, 8, size=6)
+        b = rng.integers(0, 8, size=6)
+        assert sax_mindist(a, b, 8, 48) == pytest.approx(sax_mindist(b, a, 8, 48))
+
+    def test_word_length_mismatch(self):
+        with pytest.raises(ValueError):
+            sax_mindist(np.zeros(3, dtype=int), np.zeros(4, dtype=int), 8, 32)
+
+    def test_lower_bounds_euclidean(self, rng):
+        """Property on real data: MINDIST(SAX, SAX) <= ED."""
+        data = znormalize(rng.normal(size=(40, 64)).cumsum(axis=1))
+        paa = paa_transform(data, 8)
+        syms = sax_transform(paa, 8)
+        for i in range(0, 40, 5):
+            for j in range(1, 40, 7):
+                md = sax_mindist(syms[i], syms[j], 8, 64)
+                assert md <= euclidean(data[i], data[j]) + 1e-9
+
+
+@given(st.integers(0, 15), st.integers(0, 15), st.sampled_from([16]))
+@settings(max_examples=80, deadline=None)
+def test_mindist_nonnegative_and_symmetric(si, sj, card):
+    a = np.array([si])
+    b = np.array([sj])
+    d1 = sax_mindist(a, b, card, 16)
+    d2 = sax_mindist(b, a, card, 16)
+    assert d1 >= 0.0
+    assert d1 == pytest.approx(d2)

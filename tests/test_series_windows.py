@@ -1,0 +1,81 @@
+"""Tests for subsequence window extraction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.series import is_znormalized
+from repro.series.windows import sliding_windows, window_dataset
+
+
+class TestSlidingWindows:
+    def test_docstring_example(self):
+        out = sliding_windows(np.arange(5.0), window=3, stride=2)
+        np.testing.assert_array_equal(out, [[0, 1, 2], [2, 3, 4]])
+
+    def test_stride_one_covers_all(self):
+        out = sliding_windows(np.arange(10.0), window=4)
+        assert out.shape == (7, 4)
+        np.testing.assert_array_equal(out[0], [0, 1, 2, 3])
+        np.testing.assert_array_equal(out[-1], [6, 7, 8, 9])
+
+    def test_window_equals_length(self):
+        out = sliding_windows(np.arange(5.0), window=5)
+        assert out.shape == (1, 5)
+
+    def test_view_is_readonly(self):
+        out = sliding_windows(np.arange(6.0), window=2)
+        with pytest.raises(ValueError):
+            out[0, 0] = 99.0
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ConfigurationError):
+            sliding_windows(np.arange(4.0), window=0)
+        with pytest.raises(ConfigurationError):
+            sliding_windows(np.arange(4.0), window=5)
+
+    def test_rejects_bad_stride(self):
+        with pytest.raises(ConfigurationError):
+            sliding_windows(np.arange(4.0), window=2, stride=0)
+
+
+class TestWindowDataset:
+    def test_ids_are_start_offsets(self):
+        ds = window_dataset(np.arange(20.0), window=5, stride=3)
+        np.testing.assert_array_equal(ds.ids, [0, 3, 6, 9, 12, 15])
+
+    def test_normalized_by_default(self):
+        rng = np.random.default_rng(2)
+        ds = window_dataset(rng.normal(size=100).cumsum(), window=16, stride=4)
+        assert is_znormalized(ds.values)
+
+    def test_unnormalized_preserves_values(self):
+        series = np.arange(12.0)
+        ds = window_dataset(series, window=4, stride=4, normalize=False)
+        np.testing.assert_array_equal(ds.values[1], [4, 5, 6, 7])
+
+    def test_window_content_maps_back_to_source(self):
+        rng = np.random.default_rng(3)
+        series = rng.normal(size=200)
+        ds = window_dataset(series, window=32, stride=7, normalize=False)
+        for wid, row in zip(ds.ids, ds.values):
+            np.testing.assert_array_equal(row, series[wid : wid + 32])
+
+
+@given(st.integers(10, 200), st.integers(1, 20), st.integers(1, 10))
+@settings(max_examples=60, deadline=None)
+def test_window_count_property(length, window, stride):
+    """Property: the number of windows matches the closed-form count."""
+    if window > length:
+        window = length
+    series = np.arange(float(length))
+    out = sliding_windows(series, window=window, stride=stride)
+    assert out.shape == (1 + (length - window) // stride, window)
+    # Every window must be a contiguous slice of the source.
+    for i, row in enumerate(out):
+        start = i * stride
+        np.testing.assert_array_equal(row, series[start : start + window])

@@ -1,0 +1,226 @@
+"""Tests for partition files, the simulated DFS, and binary codecs."""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.exceptions import PartitionNotFoundError, StorageError
+from repro.storage import (
+    PartitionFile,
+    SimulatedDFS,
+    array_from_bytes,
+    array_to_bytes,
+)
+from repro.storage.serialization import read_blob, write_blob
+
+
+def make_partition(pid="p0", n_clusters=3, per_cluster=5, length=8, seed=0):
+    rng = np.random.default_rng(seed)
+    clusters = {}
+    next_id = 0
+    for c in range(n_clusters):
+        ids = np.arange(next_id, next_id + per_cluster)
+        next_id += per_cluster
+        clusters[f"g0/{c}"] = (ids, rng.normal(size=(per_cluster, length)))
+    return PartitionFile.from_clusters(pid, clusters)
+
+
+class TestSerialization:
+    def test_blob_roundtrip(self):
+        buf = io.BytesIO()
+        write_blob(buf, b"hello")
+        write_blob(buf, b"")
+        buf.seek(0)
+        assert read_blob(buf) == b"hello"
+        assert read_blob(buf) == b""
+
+    def test_truncated_blob_raises(self):
+        buf = io.BytesIO()
+        write_blob(buf, b"hello")
+        data = buf.getvalue()[:-2]
+        with pytest.raises(StorageError):
+            read_blob(io.BytesIO(data))
+
+    def test_array_roundtrip_dtypes(self):
+        for dtype in (np.float64, np.int64, np.uint64, np.int32, np.uint16):
+            arr = np.arange(12, dtype=dtype).reshape(3, 4)
+            out = array_from_bytes(array_to_bytes(arr))
+            np.testing.assert_array_equal(out, arr)
+            assert out.dtype == arr.dtype
+
+    def test_array_roundtrip_is_writable_copy(self):
+        arr = np.zeros((2, 2))
+        out = array_from_bytes(array_to_bytes(arr))
+        out[0, 0] = 1.0  # must not raise
+
+    def test_rejects_object_dtype(self):
+        import json
+
+        from repro.storage.serialization import json_to_bytes
+
+        # Craft a payload claiming an unsupported dtype.
+        buf = io.BytesIO()
+        write_blob(buf, json.dumps({"dtype": "object", "shape": [1]}).encode())
+        write_blob(buf, b"\x00" * 8)
+        with pytest.raises(StorageError):
+            array_from_bytes(buf.getvalue())
+
+
+class TestPartitionFile:
+    def test_cluster_layout_contiguous_and_sorted(self):
+        part = make_partition(n_clusters=3, per_cluster=4)
+        offsets = [part.header[k][0] for k in sorted(part.header)]
+        assert offsets == [0, 4, 8]
+        assert part.record_count == 12
+
+    def test_read_cluster_returns_exact_records(self):
+        rng = np.random.default_rng(1)
+        ids_a = np.array([10, 11])
+        vals_a = rng.normal(size=(2, 4))
+        ids_b = np.array([20])
+        vals_b = rng.normal(size=(1, 4))
+        part = PartitionFile.from_clusters(
+            "p", {"b": (ids_b, vals_b), "a": (ids_a, vals_a)}
+        )
+        got_ids, got_vals = part.read_cluster("a")
+        np.testing.assert_array_equal(got_ids, ids_a)
+        np.testing.assert_allclose(got_vals, vals_a)
+
+    def test_read_missing_cluster(self):
+        part = make_partition()
+        with pytest.raises(StorageError):
+            part.read_cluster("nope")
+
+    def test_read_clusters_concatenates(self):
+        part = make_partition(n_clusters=3, per_cluster=2)
+        ids, vals = part.read_clusters(["g0/0", "g0/2"])
+        assert ids.shape == (4,)
+        assert vals.shape == (4, 8)
+
+    def test_read_clusters_empty_keys(self):
+        part = make_partition()
+        with pytest.raises(StorageError):
+            part.read_clusters([])
+
+    def test_read_all(self):
+        part = make_partition(n_clusters=2, per_cluster=3)
+        ids, vals = part.read_all()
+        assert ids.shape == (6,)
+        assert vals.shape == (6, 8)
+
+    def test_rejects_empty(self):
+        with pytest.raises(StorageError):
+            PartitionFile.from_clusters("p", {})
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(StorageError):
+            PartitionFile.from_clusters(
+                "p",
+                {"a": (np.array([1]), np.zeros((1, 4))),
+                 "b": (np.array([2]), np.zeros((1, 5)))},
+            )
+
+    def test_rejects_id_value_mismatch(self):
+        with pytest.raises(StorageError):
+            PartitionFile.from_clusters(
+                "p", {"a": (np.array([1, 2]), np.zeros((1, 4)))}
+            )
+
+    def test_nbytes_grows_with_records(self):
+        small = make_partition(per_cluster=2)
+        big = make_partition(per_cluster=20)
+        assert big.nbytes > small.nbytes
+
+    def test_bytes_roundtrip(self):
+        part = make_partition(n_clusters=2, per_cluster=3, seed=9)
+        out = PartitionFile.from_bytes(part.to_bytes())
+        assert out.partition_id == part.partition_id
+        assert out.header == part.header
+        np.testing.assert_array_equal(out.ids, part.ids)
+        np.testing.assert_allclose(out.values, part.values)
+
+    def test_cluster_sizes(self):
+        part = make_partition(n_clusters=2, per_cluster=3)
+        assert part.cluster_sizes() == {"g0/0": 3, "g0/1": 3}
+
+
+class TestSimulatedDFS:
+    def test_write_read_roundtrip(self):
+        dfs = SimulatedDFS()
+        part = make_partition("alpha")
+        dfs.write_partition(part)
+        out = dfs.read_partition("alpha")
+        np.testing.assert_array_equal(out.ids, part.ids)
+
+    def test_duplicate_write_rejected(self):
+        dfs = SimulatedDFS()
+        dfs.write_partition(make_partition("a"))
+        with pytest.raises(StorageError):
+            dfs.write_partition(make_partition("a"))
+
+    def test_missing_partition(self):
+        dfs = SimulatedDFS()
+        with pytest.raises(PartitionNotFoundError):
+            dfs.read_partition("ghost")
+        with pytest.raises(PartitionNotFoundError):
+            dfs.partition_nbytes("ghost")
+
+    def test_counters_track_io(self):
+        dfs = SimulatedDFS()
+        part = make_partition("a")
+        dfs.write_partition(part)
+        assert dfs.counters.bytes_written == part.nbytes
+        assert dfs.counters.partitions_written == 1
+        dfs.read_partition("a")
+        dfs.read_partition("a")
+        assert dfs.counters.partitions_read == 2
+        assert dfs.counters.bytes_read == 2 * part.nbytes
+
+    def test_counters_snapshot_is_independent(self):
+        dfs = SimulatedDFS()
+        dfs.write_partition(make_partition("a"))
+        snap = dfs.counters.snapshot()
+        dfs.read_partition("a")
+        assert snap.partitions_read == 0
+
+    def test_block_records_matches_block_size(self):
+        dfs = SimulatedDFS(block_bytes=1024 * 1024)
+        c = dfs.block_records(256)
+        # 256-point series is 2064 bytes stored.
+        assert c == (1024 * 1024) // 2064
+
+    def test_rejects_tiny_block(self):
+        with pytest.raises(StorageError):
+            SimulatedDFS(block_bytes=10)
+
+    def test_list_and_len(self):
+        dfs = SimulatedDFS()
+        dfs.write_partition(make_partition("b"))
+        dfs.write_partition(make_partition("a"))
+        assert dfs.list_partitions() == ["a", "b"]
+        assert len(dfs) == 2
+        assert dfs.has_partition("a")
+        assert not dfs.has_partition("c")
+
+    def test_total_bytes(self):
+        dfs = SimulatedDFS()
+        p1, p2 = make_partition("a"), make_partition("b", per_cluster=10)
+        dfs.write_partition(p1)
+        dfs.write_partition(p2)
+        assert dfs.total_bytes == p1.nbytes + p2.nbytes
+
+    def test_disk_backed_roundtrip(self, tmp_path):
+        dfs = SimulatedDFS(backing_dir=tmp_path)
+        part = make_partition("onDisk", seed=4)
+        dfs.write_partition(part)
+        assert (tmp_path / "onDisk.part").exists()
+        out = dfs.read_partition("onDisk")
+        np.testing.assert_allclose(out.values, part.values)
+
+    def test_disk_backed_does_not_keep_in_memory(self, tmp_path):
+        dfs = SimulatedDFS(backing_dir=tmp_path)
+        dfs.write_partition(make_partition("x"))
+        assert dfs._partitions == {}
