@@ -1,0 +1,228 @@
+"""Query-throughput benchmark: vectorised routing, batch queries, DFS cache.
+
+Before/after measurement of the query hot path:
+
+* **Routing** — single-query group routing (OD/WD against every centroid
+  plus primary selection) with the seed's scalar per-group Python loop vs
+  the vectorised :class:`~repro.core.routing.RoutingTable`, at >= 64
+  groups (the regime the paper's configurations operate in).
+* **Batch** — answering a 100-query batch by looping the scalar-routed
+  ``knn`` (the seed's ``knn_batch``) vs the true batch pipeline (shared
+  PAA/signature transforms, one routing matrix, DFS read cache) on a
+  disk-backed DFS.
+
+Both comparisons verify identical answer sets and identical logical
+access-volume accounting before timing.  Results land in
+``BENCH_query_throughput.json`` at the repository root.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_query_throughput.py [--smoke]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import ClimberConfig, ClimberIndex
+from repro.core.routing import (
+    scalar_group_candidates,
+    scalar_select_primary,
+    select_primary,
+)
+from repro.datasets import random_walk_dataset, sample_queries
+from repro.storage import SimulatedDFS
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUT_PATH = REPO_ROOT / "BENCH_query_throughput.json"
+
+CACHE_BYTES = 256 * 1024 * 1024
+
+
+def operating_point(smoke: bool) -> tuple:
+    """Dataset + config sized for >= 64 groups (or a fast smoke variant)."""
+    if smoke:
+        dataset = random_walk_dataset(2_500, 64, seed=1)
+        config = ClimberConfig(
+            word_length=8, n_pivots=48, prefix_length=6, capacity=120,
+            sample_fraction=0.25, n_input_partitions=16, seed=7,
+            min_centroid_separation=1,
+        )
+    else:
+        dataset = random_walk_dataset(20_000, 96, seed=1)
+        config = ClimberConfig(
+            word_length=12, n_pivots=128, prefix_length=8, capacity=150,
+            sample_fraction=0.2, n_input_partitions=64, seed=7,
+            min_centroid_separation=1,
+        )
+    return dataset, config
+
+
+def scalar_patched(index: ClimberIndex) -> ClimberIndex:
+    """Patch an index back to the seed's scalar routing path."""
+    index.group_candidates = (
+        lambda sig, od_slack=0: scalar_group_candidates(index, sig, od_slack)
+    )
+    index.select_primary = (
+        lambda cands: scalar_select_primary(cands, index._rng)
+    )
+    return index
+
+
+def bench_routing(index: ClimberIndex, sigs: list[np.ndarray], reps: int) -> dict:
+    """Single-query routing latency, scalar vs vectorised."""
+    rng_scalar = np.random.default_rng(0)
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        for sig in sigs:
+            cands = scalar_group_candidates(index, sig, od_slack=1)
+            scalar_select_primary(cands, rng_scalar)
+    scalar_s = time.perf_counter() - t0
+
+    rng_vector = np.random.default_rng(0)
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        for sig in sigs:
+            cands = index.group_candidates(sig, od_slack=1)
+            select_primary(cands, rng_vector)
+    vector_s = time.perf_counter() - t0
+
+    n = reps * len(sigs)
+    return {
+        "n_routings": n,
+        "scalar_s": scalar_s,
+        "vector_s": vector_s,
+        "scalar_us_per_query": 1e6 * scalar_s / n,
+        "vector_us_per_query": 1e6 * vector_s / n,
+        "speedup": scalar_s / vector_s if vector_s else float("inf"),
+    }
+
+
+def bench_batch(blob: bytes, config: ClimberConfig, dfs_dir: Path,
+                queries: np.ndarray, k: int) -> dict:
+    """Batch QPS: seed-style per-query loop vs the true batch pipeline."""
+
+    def reopen(cache_bytes: int) -> tuple[ClimberIndex, SimulatedDFS]:
+        dfs = SimulatedDFS(backing_dir=dfs_dir, cache_bytes=cache_bytes)
+        dfs.attach()
+        return ClimberIndex.reopen(blob, dfs, config), dfs
+
+    # Correctness + accounting parity check first (untimed).
+    base_idx, base_dfs = reopen(0)
+    fast_idx, fast_dfs = reopen(CACHE_BYTES)
+    scalar_patched(base_idx)
+    base_res = [base_idx.knn(q, k) for q in queries]
+    fast_res = fast_idx.knn_batch(queries, k)
+    identical = all(
+        np.array_equal(a.ids, b.ids)
+        and np.array_equal(a.distances, b.distances)
+        and a.stats.sim_seconds == b.stats.sim_seconds
+        for a, b in zip(base_res, fast_res)
+    )
+    accounting_identical = (
+        base_dfs.counters.bytes_read == fast_dfs.counters.bytes_read
+        and base_dfs.counters.partitions_read == fast_dfs.counters.partitions_read
+    )
+
+    # Timed runs: several rounds per path, best round wins (steady-state
+    # throughput; discards cold-cache and scheduler noise).
+    rounds = 3
+    base_idx, _ = reopen(0)
+    scalar_patched(base_idx)
+    loop_s = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        base_res = [base_idx.knn(q, k) for q in queries]
+        loop_s = min(loop_s, time.perf_counter() - t0)
+
+    fast_idx, fast_dfs2 = reopen(CACHE_BYTES)
+    batch_s = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fast_res = fast_idx.knn_batch(queries, k)
+        batch_s = min(batch_s, time.perf_counter() - t0)
+
+    n = len(queries)
+    return {
+        "n_queries": n,
+        "k": k,
+        "rounds": rounds,
+        "results_identical": identical,
+        "accounting_identical": accounting_identical,
+        "loop_s": loop_s,
+        "batch_s": batch_s,
+        "qps_loop": n / loop_s,
+        "qps_batch": n / batch_s,
+        "speedup": loop_s / batch_s if batch_s else float("inf"),
+        "cache_hits": fast_dfs2.counters.cache_hits,
+        "cache_misses": fast_dfs2.counters.cache_misses,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small fast run (CI); skips the >=64-group check")
+    parser.add_argument("--queries", type=int, default=100,
+                        help="batch size (default 100)")
+    parser.add_argument("--k", type=int, default=10)
+    parser.add_argument("--reps", type=int, default=None,
+                        help="routing-bench repetitions")
+    args = parser.parse_args()
+
+    dataset, config = operating_point(args.smoke)
+    n_queries = min(args.queries, 20) if args.smoke else args.queries
+    reps = args.reps if args.reps is not None else (2 if args.smoke else 10)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        dfs_dir = Path(tmp) / "dfs"
+        dfs = SimulatedDFS(backing_dir=dfs_dir)
+        t0 = time.perf_counter()
+        index = ClimberIndex.build(dataset, config, dfs=dfs)
+        build_s = time.perf_counter() - t0
+        print(f"built: {index.n_groups} groups, {index.n_partitions} "
+              f"partitions, {dataset.count} records ({build_s:.2f}s)")
+        if not args.smoke and index.n_groups < 64:
+            raise SystemExit(
+                f"operating point yields only {index.n_groups} groups (<64)"
+            )
+
+        queries = sample_queries(dataset, n_queries, seed=99).values
+        sigs = [index.query_signature(q) for q in queries]
+
+        routing = bench_routing(index, sigs, reps)
+        print(f"routing: scalar {routing['scalar_us_per_query']:.1f} us/q, "
+              f"vectorised {routing['vector_us_per_query']:.1f} us/q "
+              f"-> {routing['speedup']:.1f}x")
+
+        batch = bench_batch(index.save_global_index(), config, dfs_dir,
+                            queries, args.k)
+        print(f"batch ({batch['n_queries']} queries): loop "
+              f"{batch['qps_loop']:.0f} QPS, batch {batch['qps_batch']:.0f} QPS "
+              f"-> {batch['speedup']:.1f}x "
+              f"(results identical: {batch['results_identical']}, "
+              f"accounting identical: {batch['accounting_identical']})")
+
+    payload = {
+        "smoke": args.smoke,
+        "n_records": dataset.count,
+        "n_groups": index.n_groups,
+        "n_partitions": index.n_partitions,
+        "routing": routing,
+        "batch": batch,
+    }
+    OUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {OUT_PATH}")
+
+    if not batch["results_identical"] or not batch["accounting_identical"]:
+        raise SystemExit("parity check failed")
+
+
+if __name__ == "__main__":
+    main()

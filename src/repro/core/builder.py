@@ -88,7 +88,9 @@ def build_index_artifacts(
         raise ConfigurationError(
             f"series length {dataset.length} < word length {config.word_length}"
         )
-    dfs = dfs if dfs is not None else SimulatedDFS()
+    dfs = dfs if dfs is not None else SimulatedDFS(
+        cache_bytes=config.dfs_cache_bytes
+    )
     sim = ClusterSimulator(model or CostModel())
     rng = np.random.default_rng(config.seed)
     scale = config.cost_scale

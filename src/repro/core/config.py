@@ -68,6 +68,13 @@ class ClimberConfig:
         per-block volume simultaneously; queries are block-granular in the
         paper, so benches set this to 64 MB.  ``None`` keeps honest scaled
         accounting.
+    dfs_cache_bytes:
+        Byte budget of the DFS partition read-cache used when the builder
+        creates its own :class:`~repro.storage.SimulatedDFS` (callers
+        passing a DFS configure caching on it directly).  0 (the default)
+        disables caching.  The cache is purely physical: simulated cost
+        accounting and the DFS's logical read counters are identical with
+        it on or off.
     """
 
     word_length: int = 16
@@ -84,6 +91,7 @@ class ClimberConfig:
     n_input_partitions: int = 32
     cost_scale: float = 1.0
     sim_partition_bytes: int | None = None
+    dfs_cache_bytes: int = 0
 
     def __post_init__(self) -> None:
         if self.word_length < 1:
@@ -114,6 +122,8 @@ class ClimberConfig:
             raise ConfigurationError("cost_scale must be positive")
         if self.sim_partition_bytes is not None and self.sim_partition_bytes < 1024:
             raise ConfigurationError("sim_partition_bytes must be >= 1024")
+        if self.dfs_cache_bytes < 0:
+            raise ConfigurationError("dfs_cache_bytes must be >= 0")
 
     @property
     def epsilon(self) -> int:

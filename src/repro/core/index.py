@@ -13,6 +13,24 @@ queries with any of the paper's three variants:
   partitions CLIMBER-kNN would touch (2X and 4X in the paper).
 * ``variant="od-smallest"`` — the OD-Smallest comparator of §VII-C: scan
   every partition of every group tied at the smallest Overlap Distance.
+
+Query pipeline
+--------------
+A query flows through four stages:
+
+1. **Signature** — PAA transform + pivot permutation prefix
+   (:meth:`ClimberIndex.query_signature`); batched over all rows of a
+   :meth:`ClimberIndex.knn_batch` call.
+2. **Routing** — OD/WD against every group centroid via the vectorised
+   :class:`~repro.core.routing.RoutingTable` (built once per index,
+   rebuilt by :meth:`ClimberIndex.reopen`); one ``(q, groups)`` matrix
+   serves a whole batch.
+3. **Node selection** — the per-variant trie-node expansion.
+4. **Record scan** — partition loads (served from the DFS read cache
+   when enabled) and a brute-force refinement over the candidate records.
+
+Simulated cost accounting charges *logical* partition touches, so the
+paper's access-volume metrics are independent of any caching.
 """
 
 from __future__ import annotations
@@ -22,39 +40,38 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.cluster import ClusterSimulator, CostModel, TaskCost, ops_euclidean, ops_signature
+from repro.cluster import (
+    ClusterSimulator,
+    CostModel,
+    SimReport,
+    TaskCost,
+    ops_euclidean,
+    ops_paa,
+    ops_signature,
+)
+from repro.core.assignment import GroupAssigner
 from repro.core.builder import BuildArtifacts, build_index_artifacts
 from repro.core.config import ClimberConfig
-from repro.core.skeleton import GroupEntry, cluster_key, partition_name
+from repro.core.routing import GroupCandidate, RoutingTable
+from repro.core.routing import select_primary as _select_primary
+from repro.core.skeleton import (
+    GroupEntry,
+    SkeletonWithPivots,
+    cluster_key,
+    partition_name,
+)
 from repro.core.trie import TrieNode
 from repro.exceptions import ConfigurationError
-from repro.pivots import (
-    overlap_distance,
-    weight_distance,
-)
-from repro.series import SeriesDataset, knn_bruteforce, paa_transform
 from repro.pivots import decay_weights, permutation_prefixes
+from repro.series import (
+    SeriesDataset,
+    knn_bruteforce,
+    paa_transform,
+    series_nbytes,
+)
+from repro.storage import PartitionFile
 
 __all__ = ["ClimberIndex", "QueryResult", "QueryStats", "GroupCandidate"]
-
-
-@dataclass(frozen=True)
-class GroupCandidate:
-    """One group considered during routing, with its match diagnostics."""
-
-    entry: GroupEntry
-    od: int
-    wd: float
-    path: tuple[TrieNode, ...]
-
-    @property
-    def gn(self) -> TrieNode:
-        """The deepest trie node reached by the query (Node GN)."""
-        return self.path[-1]
-
-    @property
-    def path_len(self) -> int:
-        return self.gn.depth
 
 
 @dataclass(frozen=True)
@@ -101,6 +118,7 @@ class ClimberIndex:
         self._weights = decay_weights(
             config.prefix_length, config.decay, config.decay_rate
         )
+        self._routing = RoutingTable(artifacts.skeleton, self._weights)
 
     # -- construction -------------------------------------------------------------
 
@@ -125,7 +143,13 @@ class ClimberIndex:
 
         Appends write ``<base>.d0``, ``<base>.d1``, ... so no registry has
         to be persisted: a reopened index finds deltas by listing the DFS.
+        A DFS exposing ``delta_partitions`` (the :class:`SimulatedDFS`
+        registry cache) answers from its index instead of rescanning the
+        full partition list on every query.
         """
+        delta_partitions = getattr(self.dfs, "delta_partitions", None)
+        if delta_partitions is not None:
+            return delta_partitions(base_name)
         prefix = f"{base_name}.d"
         return [p for p in self.dfs.list_partitions() if p.startswith(prefix)]
 
@@ -175,8 +199,6 @@ class ClimberIndex:
                 key = cluster_key(gid, None)
             clusters.setdefault(pid, {}).setdefault(key, []).append(local)
 
-        from repro.storage import PartitionFile
-
         written = []
         written_bytes = 0
         for pid in sorted(clusters):
@@ -191,8 +213,6 @@ class ClimberIndex:
             self.dfs.write_partition(part)
             written.append(part.partition_id)
             written_bytes += part.nbytes
-
-        from repro.cluster import ops_paa, ops_signature
 
         sig_ops = ops_paa(dataset.length) + ops_signature(
             cfg.n_pivots, cfg.word_length, cfg.prefix_length
@@ -219,23 +239,6 @@ class ClimberIndex:
             "sim_seconds": report.total_seconds,
         }
 
-    def knn_batch(
-        self,
-        queries: np.ndarray,
-        k: int,
-        variant: str = "adaptive",
-        adaptive_factor: int | None = None,
-    ) -> list[QueryResult]:
-        """Answer a batch of kNN queries (rows of ``queries``).
-
-        Queries are independent in CLIMBER (no shared scan state), so the
-        batch API is a convenience wrapper with one result per row.
-        """
-        arr = np.asarray(queries, dtype=np.float64)
-        if arr.ndim == 1:
-            arr = arr.reshape(1, -1)
-        return [self.knn(row, k, variant, adaptive_factor) for row in arr]
-
     # -- persistence ---------------------------------------------------------------
 
     def save_global_index(self) -> bytes:
@@ -245,8 +248,6 @@ class ClimberIndex:
         persistent state — exactly what the paper's driver broadcasts in
         construction Step 4.
         """
-        from repro.core.skeleton import SkeletonWithPivots
-
         return SkeletonWithPivots(self._art.skeleton, self._art.pivots).to_bytes()
 
     @classmethod
@@ -259,6 +260,10 @@ class ClimberIndex:
     ) -> "ClimberIndex":
         """Reconstruct a queryable index from persisted state.
 
+        O(partitions), not O(bytes): record counts come from the DFS
+        partition-header metadata when available, so no payload is read.
+        The routing table is rebuilt by the constructor.
+
         Parameters
         ----------
         global_index:
@@ -269,14 +274,6 @@ class ClimberIndex:
             The configuration the index was built with (routing depends on
             word length, prefix length, and decay settings).
         """
-        import numpy as np
-
-        from repro.cluster import SimReport
-        from repro.core.assignment import GroupAssigner
-        from repro.core.builder import BuildArtifacts
-        from repro.core.skeleton import SkeletonWithPivots
-        from repro.pivots import decay_weights
-
         model = model or CostModel()
         loaded = SkeletonWithPivots.from_bytes(global_index)
         skeleton = loaded.skeleton
@@ -292,9 +289,13 @@ class ClimberIndex:
                                   config.decay_rate),
             rng=np.random.default_rng(config.seed),
         )
-        n_records = sum(
-            dfs.read_partition(p).record_count for p in dfs.list_partitions()
-        )
+        record_count = getattr(dfs, "record_count", None)
+        if record_count is not None:
+            n_records = sum(record_count(p) for p in dfs.list_partitions())
+        else:
+            n_records = sum(
+                dfs.read_partition(p).record_count for p in dfs.list_partitions()
+            )
         artifacts = BuildArtifacts(
             skeleton=skeleton,
             pivots=loaded.pivots,
@@ -319,6 +320,11 @@ class ClimberIndex:
     @property
     def dfs(self):
         return self._art.dfs
+
+    @property
+    def routing(self) -> RoutingTable:
+        """The vectorised routing engine (centroid bitsets + weights)."""
+        return self._routing
 
     @property
     def n_groups(self) -> int:
@@ -355,13 +361,20 @@ class ClimberIndex:
         """Structural summary of the index (for logging and examples).
 
         Returns group count, partition statistics, trie-node totals, and
-        the serialised global-index size.
+        the serialised global-index size.  Partition record counts come
+        from DFS metadata when available, so no payloads are read.
         """
         skeleton = self._art.skeleton
-        partition_records = [
-            self.dfs.read_partition(p).record_count
-            for p in self.dfs.list_partitions()
-        ]
+        record_count = getattr(self.dfs, "record_count", None)
+        if record_count is not None:
+            partition_records = [
+                record_count(p) for p in self.dfs.list_partitions()
+            ]
+        else:
+            partition_records = [
+                self.dfs.read_partition(p).record_count
+                for p in self.dfs.list_partitions()
+            ]
         group_sizes = sorted(
             (g.est_size for g in skeleton.groups), reverse=True
         )
@@ -398,36 +411,13 @@ class ClimberIndex:
         variant memorises: §VI allows memorising "all groups having the
         same smallest OD distance *or having a distance less than a certain
         threshold*" — ``od_slack`` is that threshold above the minimum.
-        Falls back to group G0 when nothing overlaps.
+        Falls back to group G0 when nothing overlaps.  OD/WD against all
+        centroids come from the vectorised :class:`RoutingTable`.
         """
-        sig = tuple(int(p) for p in ranked_sig)
-        unranked = tuple(sorted(sig))
-        m = self.config.prefix_length
-        skeleton = self._art.skeleton
-        ods = [
-            overlap_distance(unranked, g.centroid) if not g.is_fallback else m
-            for g in skeleton.groups
-        ]
-        best = min(ods[1:]) if len(ods) > 1 else m
-        if best >= m:
-            chosen = [(skeleton.groups[0], m)]
-        else:
-            limit = min(best + od_slack, m - 1)
-            chosen = [
-                (g, od) for g, od in zip(skeleton.groups, ods)
-                if od <= limit and not g.is_fallback
-            ]
-        out = []
-        for g, od in chosen:
-            wd = (
-                weight_distance(sig, g.centroid, self._weights)
-                if g.centroid
-                else float(np.sum(self._weights))
-            )
-            path = tuple(g.trie.descend_path(sig))
-            out.append(GroupCandidate(g, od, wd, path))
-        out.sort(key=lambda c: (c.od, c.wd, c.entry.group_id))
-        return out
+        od = self._routing.od_matrix(
+            np.asarray(ranked_sig, dtype=np.int64).reshape(1, -1)
+        )
+        return self._routing.candidates(ranked_sig, od[0], od_slack=od_slack)
 
     def select_primary(self, candidates: list[GroupCandidate]) -> GroupCandidate:
         """Tie-breaking of Algorithm 3 lines 7-19: WD, path length, node size.
@@ -435,21 +425,7 @@ class ClimberIndex:
         Only groups at the strictly smallest OD compete for primary; any
         slack candidates exist purely for adaptive expansion.
         """
-        if not candidates:
-            raise ConfigurationError("no candidate groups")
-        best_od = min(c.od for c in candidates)
-        candidates = [c for c in candidates if c.od == best_od]
-        best_wd = min(c.wd for c in candidates)
-        tied = [c for c in candidates if c.wd <= best_wd + 1e-12]
-        if len(tied) > 1:
-            longest = max(c.path_len for c in tied)
-            tied = [c for c in tied if c.path_len == longest]
-        if len(tied) > 1:
-            largest = max(c.gn.count for c in tied)
-            tied = [c for c in tied if c.gn.count == largest]
-        if len(tied) > 1:
-            return tied[int(self._rng.integers(0, len(tied)))]
-        return tied[0]
+        return _select_primary(candidates, self._rng)
 
     # -- node selection per variant ----------------------------------------------------
 
@@ -545,8 +521,6 @@ class ClimberIndex:
         """
         cfg = self.config
         if cfg.sim_partition_bytes is not None:
-            from repro.series import series_nbytes
-
             block_records = max(
                 1, cfg.sim_partition_bytes // series_nbytes(part.series_length)
             )
@@ -560,6 +534,13 @@ class ClimberIndex:
                 part.record_count * ops_euclidean(part.series_length) * cfg.cost_scale
             ),
         )
+
+    @staticmethod
+    def _validate_query_args(k: int, variant: str) -> None:
+        if k < 1:
+            raise ConfigurationError("k must be >= 1")
+        if variant not in ("knn", "adaptive", "od-smallest"):
+            raise ConfigurationError(f"unknown variant {variant!r}")
 
     def knn(
         self,
@@ -582,18 +563,72 @@ class ClimberIndex:
             Partition-budget multiplier override (2 for -2X, 4 for -4X);
             defaults to ``config.adaptive_factor``.
         """
-        if k < 1:
-            raise ConfigurationError("k must be >= 1")
-        if variant not in ("knn", "adaptive", "od-smallest"):
-            raise ConfigurationError(f"unknown variant {variant!r}")
+        self._validate_query_args(k, variant)
         t0 = time.perf_counter()
-        sim = ClusterSimulator(self.model)
-        scale = self.config.cost_scale
-        cfg = self.config
-
         ranked = self.query_signature(query)
         od_slack = 1 if variant == "adaptive" else 0
         candidates = self.group_candidates(ranked, od_slack=od_slack)
+        return self._knn_routed(
+            np.asarray(query, dtype=np.float64),
+            k, variant, adaptive_factor, candidates, t0,
+        )
+
+    def knn_batch(
+        self,
+        queries: np.ndarray,
+        k: int,
+        variant: str = "adaptive",
+        adaptive_factor: int | None = None,
+    ) -> list[QueryResult]:
+        """Answer a batch of kNN queries (rows of ``queries``).
+
+        The batch pipeline shares work across rows: one PAA transform, one
+        signature computation and one ``(q, groups)`` OD/WD routing matrix
+        serve the whole batch, and partition loads are shared through the
+        DFS read cache when it is enabled.  Results and per-query stats
+        (including simulated cost accounting) are identical to calling
+        :meth:`knn` once per row; only ``wall_seconds`` reflects the
+        shared-work split.
+        """
+        self._validate_query_args(k, variant)
+        arr = np.asarray(queries, dtype=np.float64)
+        if arr.ndim == 1:
+            arr = arr.reshape(1, -1)
+        if arr.shape[0] == 0:
+            return []
+        t0 = time.perf_counter()
+        paa = paa_transform(arr, self.config.word_length)
+        ranked = permutation_prefixes(
+            paa, self._art.pivots, self.config.prefix_length
+        )
+        od_slack = 1 if variant == "adaptive" else 0
+        od, wd = self._routing.distance_matrices(ranked)
+        # The shared signature/routing span is amortised evenly over the
+        # rows so per-query wall_seconds stay comparable to knn's.
+        shared_share = (time.perf_counter() - t0) / arr.shape[0]
+        results = []
+        for i in range(arr.shape[0]):
+            candidates = self._routing.candidates(
+                ranked[i], od[i], wd[i], od_slack=od_slack
+            )
+            results.append(
+                self._knn_routed(arr[i], k, variant, adaptive_factor,
+                                 candidates, time.perf_counter() - shared_share)
+            )
+        return results
+
+    def _knn_routed(
+        self,
+        query: np.ndarray,
+        k: int,
+        variant: str,
+        adaptive_factor: int | None,
+        candidates: list[GroupCandidate],
+        t0: float,
+    ) -> QueryResult:
+        """Stages 3-4 of the pipeline: node selection + record scan."""
+        sim = ClusterSimulator(self.model)
+        cfg = self.config
         primary = self.select_primary(candidates)
 
         # Driver-side routing: signature of one query object plus a linear
@@ -638,7 +673,7 @@ class ClimberIndex:
         loaded = []
         data_bytes = 0
         scan_costs = []
-        fallback_pool: list[tuple[np.ndarray, np.ndarray]] = []
+        fallback_pool: list[tuple] = []
         for pname in sorted(to_load):
             wanted = set(to_load[pname])
             # Base partition plus any delta partitions appended later.
@@ -654,19 +689,21 @@ class ClimberIndex:
                         ids_parts.append(cid)
                         val_parts.append(cval)
                 # Remember the rest of the partition for the within-partition
-                # expansion CLIMBER-kNN applies when the node is too small.
+                # expansion CLIMBER-kNN applies when the node is too small;
+                # the records are only materialised if that happens.
                 other_keys = [
                     key for key in part.cluster_keys() if key not in wanted
                 ]
                 if other_keys:
-                    fallback_pool.append(part.read_clusters(other_keys))
+                    fallback_pool.append((part, other_keys))
                 scan_costs.append(self._partition_scan_cost(part))
 
         n_targeted = int(sum(p.shape[0] for p in ids_parts))
         expanded = False
         if n_targeted < k and fallback_pool:
             expanded = True
-            for cid, cval in fallback_pool:
+            for part, other_keys in fallback_pool:
+                cid, cval = part.read_clusters(other_keys)
                 ids_parts.append(cid)
                 val_parts.append(cval)
 

@@ -6,6 +6,7 @@ from repro.pivots.distances import (
     kendall_tau,
     overlap_distance,
     overlap_distance_matrix,
+    routing_distances,
     spearman_footrule,
     total_weight,
     weight_distance,
@@ -39,6 +40,7 @@ __all__ = [
     "words_for",
     "overlap_distance",
     "overlap_distance_matrix",
+    "routing_distances",
     "decay_weights",
     "total_weight",
     "weight_distance",

@@ -29,6 +29,7 @@ from repro.pivots.signatures import pack_pivot_sets, words_for
 __all__ = [
     "overlap_distance",
     "overlap_distance_matrix",
+    "routing_distances",
     "decay_weights",
     "total_weight",
     "weight_distance",
@@ -89,6 +90,48 @@ def overlap_distance_matrix(
         axis=2, dtype=np.uint16
     )
     return (np.uint16(prefix_length) - inter).astype(np.uint16)
+
+
+def routing_distances(
+    ranked: np.ndarray,
+    packed_centroids: np.ndarray,
+    n_pivots: int,
+    weights: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Fused query-time OD + WD between ranked signatures and centroids.
+
+    The query hot path needs both metrics against every centroid: OD to
+    find the best-matching groups (Algorithm 3 L5-9) and WD to break OD
+    ties.  This computes both from one packing pass.
+
+    Parameters
+    ----------
+    ranked:
+        ``(q, m)`` rank-sensitive signatures.
+    packed_centroids:
+        ``(k, words)`` uint64 centroid bitsets from :func:`pack_pivot_sets`.
+    n_pivots:
+        Total pivot count ``r`` (bitset width).
+    weights:
+        ``(m,)`` decay weights of Def. 9.
+
+    Returns
+    -------
+    (od, wd)
+        ``(q, k)`` int64 Overlap Distances and ``(q, k)`` float64 Weight
+        Distances.  Both match the scalar :func:`overlap_distance` /
+        :func:`weight_distance` bit-for-bit.
+    """
+    arr = np.asarray(ranked, dtype=np.int64)
+    if arr.ndim != 2:
+        raise ConfigurationError("ranked signatures must be a (q, m) matrix")
+    m = arr.shape[1]
+    packed = pack_pivot_sets(np.sort(arr, axis=1), n_pivots)
+    od = overlap_distance_matrix(packed, packed_centroids, m).astype(np.int64)
+    wd = weight_distance_matrix(
+        arr, packed_centroids, n_pivots, np.asarray(weights, dtype=np.float64)
+    )
+    return od, wd
 
 
 # ---------------------------------------------------------------------------
@@ -184,13 +227,24 @@ def weight_distance_matrix(
     if cs.shape[1] != words_for(n_pivots):
         raise ConfigurationError("packed centroid width does not match n_pivots")
     tw = total_weight(w)
-    matched = np.zeros((arr.shape[0], cs.shape[0]), dtype=np.float64)
+    d, m = arr.shape
+    k = cs.shape[0]
+    matched = np.zeros((d, k), dtype=np.float64)
     one = np.uint64(1)
-    for rank in range(arr.shape[1]):
-        pivot = arr[:, rank]
-        word = cs[:, pivot >> 6]  # (k, d)
-        bit = (word >> (pivot & 63).astype(np.uint64)) & one
-        matched += w[rank] * bit.T.astype(np.float64)
+    # One-shot bit extraction, then rank-sequential accumulation.  The
+    # per-element addition order (ascending rank, zeros included) matches
+    # the scalar :func:`weight_distance` exactly, so results are
+    # bit-identical; chunking only bounds the (k, chunk, m) temporary.
+    chunk = max(1, (1 << 22) // max(1, k * m))
+    for start in range(0, d, chunk):
+        rows = arr[start:start + chunk]
+        words = cs[:, rows >> 6]  # (k, chunk, m)
+        bits = (words >> (rows & 63).astype(np.uint64)) & one
+        contrib = bits.astype(np.float64) * w  # (k, chunk, m)
+        ranks = contrib.transpose(2, 1, 0)  # (m, chunk, k) view
+        out = matched[start:start + chunk]
+        for rank in range(m):
+            out += ranks[rank]
     return tw - matched
 
 

@@ -71,8 +71,12 @@ def pack_pivot_sets(signatures: np.ndarray, n_pivots: int) -> np.ndarray:
     out = np.zeros((arr.shape[0], n_words), dtype=np.uint64)
     word_idx = arr >> 6
     bit = np.uint64(1) << (arr & 63).astype(np.uint64)
-    rows = np.repeat(np.arange(arr.shape[0]), arr.shape[1])
-    np.bitwise_or.at(out, (rows, word_idx.ravel()), bit.ravel())
+    rows = np.arange(arr.shape[0])
+    # One fancy-assign per signature position instead of an elementwise
+    # ufunc.at scatter: ids are unique per row, so within one column every
+    # (row, word) target is distinct and |= cannot lose updates.
+    for j in range(arr.shape[1]):
+        out[rows, word_idx[:, j]] |= bit[:, j]
     return out
 
 

@@ -9,7 +9,6 @@ that do not comfortably fit one ``(d, n)`` temporary.
 
 from __future__ import annotations
 
-import heapq
 from typing import Iterable
 
 import numpy as np
@@ -101,21 +100,26 @@ def knn_merge(
 
     This is the reduce step of the distributed scan: each worker returns its
     local top-k and the driver merges them.  Duplicate ids (a record scanned
-    twice) keep their smallest distance.
+    twice) keep their smallest distance; the output is deterministically
+    ordered by (distance, id), ascending.
     """
-    heap: list[tuple[float, int]] = []
-    best: dict[int, float] = {}
+    id_parts = []
+    dist_parts = []
     for ids, dists in partials:
-        for i, dist in zip(np.asarray(ids), np.asarray(dists)):
-            i = int(i)
-            dist = float(dist)
-            if i not in best or dist < best[i]:
-                best[i] = dist
-    for i, dist in best.items():
-        heapq.heappush(heap, (dist, i))
-    top = heapq.nsmallest(k, heap)
-    if not top:
+        id_parts.append(np.asarray(ids, dtype=np.int64).ravel())
+        dist_parts.append(np.asarray(dists, dtype=np.float64).ravel())
+    if not id_parts or not sum(p.size for p in id_parts):
         return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64)
-    dists_out = np.array([t[0] for t in top], dtype=np.float64)
-    ids_out = np.array([t[1] for t in top], dtype=np.int64)
-    return ids_out, dists_out
+    all_ids = np.concatenate(id_parts)
+    all_dists = np.concatenate(dist_parts)
+    # Dedup keeping the minimum distance per id: sort by (id, distance) and
+    # take the first row of every id run.
+    by_id = np.lexsort((all_dists, all_ids))
+    ids_sorted = all_ids[by_id]
+    dists_sorted = all_dists[by_id]
+    first = np.ones(ids_sorted.size, dtype=bool)
+    first[1:] = ids_sorted[1:] != ids_sorted[:-1]
+    ids_unique = ids_sorted[first]
+    dists_unique = dists_sorted[first]
+    top = np.lexsort((ids_unique, dists_unique))[:k]
+    return ids_unique[top], dists_unique[top]

@@ -8,16 +8,33 @@ paper's system is real rather than notional.
 
 The capacity constraint ``c`` of Def. 12 lives here as ``block_records``:
 builders ask the DFS how many records fit one block.
+
+Query-side additions:
+
+* an opt-in **read cache** (``cache_bytes``) — a byte-bounded LRU over
+  deserialised partitions.  Caching is purely physical: the logical
+  counters (``bytes_read`` / ``partitions_read``) charge every partition
+  touch regardless, so the paper's access-volume metrics are identical
+  with the cache on or off;
+* a **delta-name registry** — ``delta_partitions(base)`` answers the
+  ``<base>.d<seq>`` naming-convention lookup from an in-memory index
+  instead of rescanning the full partition list per query;
+* **record-count metadata** — ``record_count(pid)`` is maintained at
+  write/attach time from partition headers, so reopening an index never
+  has to read partition payloads.
 """
 
 from __future__ import annotations
 
+from bisect import insort
+from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
 
 from repro.exceptions import PartitionNotFoundError, StorageError
 from repro.series import series_nbytes
 from repro.storage.partition import PartitionFile
+from repro.storage.serialization import json_from_bytes, read_blob
 
 __all__ = ["SimulatedDFS", "DfsCounters"]
 
@@ -26,17 +43,25 @@ _DEFAULT_BLOCK_BYTES = 64 * 1024 * 1024
 
 @dataclass
 class DfsCounters:
-    """Cumulative I/O counters, for tests and access-volume metrics."""
+    """Cumulative I/O counters, for tests and access-volume metrics.
+
+    ``bytes_read`` / ``partitions_read`` are *logical*: every read charges
+    them, cache hit or not.  ``cache_hits`` / ``cache_misses`` track the
+    physical behaviour of the read cache (both stay 0 with caching off).
+    """
 
     bytes_written: int = 0
     bytes_read: int = 0
     partitions_written: int = 0
     partitions_read: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     def snapshot(self) -> "DfsCounters":
         return DfsCounters(
             self.bytes_written, self.bytes_read,
             self.partitions_written, self.partitions_read,
+            self.cache_hits, self.cache_misses,
         )
 
 
@@ -51,21 +76,33 @@ class SimulatedDFS:
         If given, partitions are additionally serialised to
         ``backing_dir/<partition_id>.part`` and reads deserialise from
         disk, making I/O genuinely disk-based.
+    cache_bytes:
+        Byte budget of the LRU read cache over deserialised partitions;
+        0 (the default) disables caching.  Logical read counters are
+        unaffected either way.
     """
 
     def __init__(
         self,
         block_bytes: int = _DEFAULT_BLOCK_BYTES,
         backing_dir: str | Path | None = None,
+        cache_bytes: int = 0,
     ) -> None:
         if block_bytes < 1024:
             raise StorageError("block_bytes must be >= 1024")
+        if cache_bytes < 0:
+            raise StorageError("cache_bytes must be >= 0")
         self.block_bytes = block_bytes
+        self.cache_bytes = cache_bytes
         self.backing_dir = Path(backing_dir) if backing_dir else None
         if self.backing_dir:
             self.backing_dir.mkdir(parents=True, exist_ok=True)
         self._partitions: dict[str, PartitionFile] = {}
         self._sizes: dict[str, int] = {}
+        self._record_counts: dict[str, int] = {}
+        self._deltas: dict[str, list[str]] = {}
+        self._cache: OrderedDict[str, PartitionFile] = OrderedDict()
+        self._cache_used = 0
         self.counters = DfsCounters()
 
     # -- capacity ---------------------------------------------------------------
@@ -81,7 +118,9 @@ class SimulatedDFS:
 
         Lets a fresh process reopen a disk-persisted index: the DFS scans
         ``backing_dir`` for ``*.part`` files and registers them without
-        reading their payloads.  Returns the number of partitions attached.
+        reading their payloads (only the first header blob of each file;
+        legacy files lacking size metadata fall back to a full read).
+        Returns the number of partitions attached.
         """
         if not self.backing_dir:
             raise StorageError("attach() requires a backing_dir")
@@ -90,16 +129,28 @@ class SimulatedDFS:
             pid = path.stem
             if pid in self._sizes:
                 continue
-            part = PartitionFile.from_bytes(path.read_bytes())
-            self._sizes[pid] = part.nbytes
+            with path.open("rb") as fh:
+                meta = json_from_bytes(read_blob(fh))
+            info = PartitionFile.stored_size_from_meta(meta)
+            if info is None:
+                part = PartitionFile.from_bytes(path.read_bytes())
+                info = (part.nbytes, part.record_count)
+            self._register(pid, *info)
             attached += 1
         return attached
 
     # -- write/read ----------------------------------------------------------------
 
+    def _register(self, pid: str, nbytes: int, record_count: int) -> None:
+        self._sizes[pid] = nbytes
+        self._record_counts[pid] = record_count
+        base, sep, _ = pid.partition(".d")
+        if sep:
+            insort(self._deltas.setdefault(base, []), pid)
+
     def write_partition(self, partition: PartitionFile) -> None:
         pid = partition.partition_id
-        if pid in self._partitions:
+        if pid in self._sizes:
             raise StorageError(f"partition {pid!r} already exists")
         nbytes = partition.nbytes
         if self.backing_dir:
@@ -107,19 +158,62 @@ class SimulatedDFS:
             path.write_bytes(partition.to_bytes())
         else:
             self._partitions[pid] = partition
-        self._sizes[pid] = nbytes
+        # Defensive invalidation: duplicate ids are rejected above, so a
+        # cached entry can never be stale today — but any future overwrite
+        # path must evict here, and the cost is one dict lookup.
+        self._cache_evict(pid)
+        self._register(pid, nbytes, partition.record_count)
         self.counters.bytes_written += nbytes
         self.counters.partitions_written += 1
 
     def read_partition(self, partition_id: str) -> PartitionFile:
         if partition_id not in self._sizes:
             raise PartitionNotFoundError(f"no partition {partition_id!r}")
+        # Logical accounting is cache-independent: the paper's access-volume
+        # metrics charge every partition touch.
         self.counters.bytes_read += self._sizes[partition_id]
         self.counters.partitions_read += 1
+        if self.cache_bytes:
+            cached = self._cache.get(partition_id)
+            if cached is not None:
+                self.counters.cache_hits += 1
+                self._cache.move_to_end(partition_id)
+                return cached
+            self.counters.cache_misses += 1
         if self.backing_dir:
             path = self.backing_dir / f"{partition_id}.part"
-            return PartitionFile.from_bytes(path.read_bytes())
-        return self._partitions[partition_id]
+            part = PartitionFile.from_bytes(path.read_bytes())
+        else:
+            part = self._partitions[partition_id]
+        if self.cache_bytes:
+            self._cache_insert(partition_id, part)
+        return part
+
+    # -- read cache --------------------------------------------------------------
+
+    def _cache_insert(self, pid: str, part: PartitionFile) -> None:
+        nbytes = self._sizes[pid]
+        if nbytes > self.cache_bytes:
+            return
+        self._cache[pid] = part
+        self._cache_used += nbytes
+        while self._cache_used > self.cache_bytes:
+            evicted, _ = self._cache.popitem(last=False)
+            self._cache_used -= self._sizes[evicted]
+
+    def _cache_evict(self, pid: str) -> None:
+        if self._cache.pop(pid, None) is not None:
+            self._cache_used -= self._sizes.get(pid, 0)
+
+    @property
+    def cache_used_bytes(self) -> int:
+        """Bytes currently held by the read cache."""
+        return self._cache_used
+
+    def cache_clear(self) -> None:
+        """Drop every cached partition (counters untouched)."""
+        self._cache.clear()
+        self._cache_used = 0
 
     # -- introspection -----------------------------------------------------------
 
@@ -129,10 +223,24 @@ class SimulatedDFS:
     def list_partitions(self) -> list[str]:
         return sorted(self._sizes)
 
+    def delta_partitions(self, base_name: str) -> list[str]:
+        """Partitions named ``<base_name>.d...``, in lexicographic order.
+
+        Maintained incrementally at write/attach time, replacing the
+        per-query ``list_partitions()`` prefix scan.
+        """
+        return list(self._deltas.get(base_name, ()))
+
     def partition_nbytes(self, partition_id: str) -> int:
         if partition_id not in self._sizes:
             raise PartitionNotFoundError(f"no partition {partition_id!r}")
         return self._sizes[partition_id]
+
+    def record_count(self, partition_id: str) -> int:
+        """Records in a partition, from header metadata (no payload read)."""
+        if partition_id not in self._record_counts:
+            raise PartitionNotFoundError(f"no partition {partition_id!r}")
+        return self._record_counts[partition_id]
 
     @property
     def total_bytes(self) -> int:

@@ -102,10 +102,19 @@ class PartitionFile:
 
     @property
     def nbytes(self) -> int:
-        """Stored size: records (with per-record overhead) plus the header."""
-        records = self.record_count * series_nbytes(self.series_length)
-        header = len(json_to_bytes({k: list(v) for k, v in self.header.items()}))
-        return records + header
+        """Stored size: records (with per-record overhead) plus the header.
+
+        Computed once and cached — the query path asks repeatedly and the
+        header serialisation is not free.
+        """
+        cached = self.__dict__.get("_nbytes")
+        if cached is None:
+            records = self.record_count * series_nbytes(self.series_length)
+            header = len(
+                json_to_bytes({k: list(v) for k, v in self.header.items()})
+            )
+            cached = self.__dict__["_nbytes"] = records + header
+        return cached
 
     def cluster_keys(self) -> list[str]:
         return list(self.header)
@@ -145,11 +154,30 @@ class PartitionFile:
         buf = io.BytesIO()
         write_blob(buf, json_to_bytes(
             {"partition_id": self.partition_id,
-             "header": {k: list(v) for k, v in self.header.items()}}
+             "header": {k: list(v) for k, v in self.header.items()},
+             "record_count": self.record_count,
+             "series_length": self.series_length}
         ))
         write_blob(buf, array_to_bytes(self.ids))
         write_blob(buf, array_to_bytes(self.values))
         return buf.getvalue()
+
+    @staticmethod
+    def stored_size_from_meta(meta: Mapping) -> tuple[int, int] | None:
+        """``(nbytes, record_count)`` from a partition's first header blob.
+
+        Lets the DFS register a persisted partition without deserialising
+        its payload (reopen is O(partitions), not O(bytes)).  Returns
+        ``None`` for legacy payloads written before the size metadata was
+        added to the header.
+        """
+        if "record_count" not in meta or "series_length" not in meta:
+            return None
+        records = int(meta["record_count"])
+        nbytes = records * series_nbytes(int(meta["series_length"])) + len(
+            json_to_bytes(meta["header"])
+        )
+        return nbytes, records
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "PartitionFile":

@@ -14,6 +14,7 @@ from repro.pivots import (
     overlap_distance,
     overlap_distance_matrix,
     pack_pivot_sets,
+    routing_distances,
     spearman_footrule,
     total_weight,
     weight_distance,
@@ -208,6 +209,41 @@ class TestRankMetrics:
             k = kendall_tau(a, b)
             f = spearman_footrule(a, b)
             assert k <= f <= 2 * k or (k == 0 and f == 0)
+
+
+class TestRoutingDistances:
+    @staticmethod
+    def _random_case(rng, r=40, m=6, d=9, k=5):
+        ranked = np.array(
+            [rng.choice(r, size=m, replace=False) for _ in range(d)],
+            dtype=np.int64,
+        )
+        centroids = np.array(
+            [rng.choice(r, size=m, replace=False) for _ in range(k)],
+            dtype=np.int64,
+        )
+        return ranked, centroids
+
+    @pytest.mark.parametrize("decay", ["exponential", "linear"])
+    def test_matches_scalar_metrics_bitwise(self, decay):
+        rng = np.random.default_rng(17)
+        ranked, centroids = self._random_case(rng)
+        w = decay_weights(ranked.shape[1], decay)
+        packed = pack_pivot_sets(centroids, 40)
+        od, wd = routing_distances(ranked, packed, 40, w)
+        for i, sig in enumerate(ranked):
+            for j, cent in enumerate(centroids):
+                assert od[i, j] == overlap_distance(sorted(sig), sorted(cent))
+                # Exact equality: the sort order of routing depends on it.
+                assert wd[i, j] == weight_distance(sig, cent, w)
+
+    def test_shapes_and_dtypes(self):
+        rng = np.random.default_rng(3)
+        ranked, centroids = self._random_case(rng, d=4, k=7)
+        w = decay_weights(ranked.shape[1])
+        od, wd = routing_distances(ranked, pack_pivot_sets(centroids, 40), 40, w)
+        assert od.shape == wd.shape == (4, 7)
+        assert od.dtype == np.int64 and wd.dtype == np.float64
 
 
 @given(st.integers(2, 40), st.data())

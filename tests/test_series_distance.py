@@ -133,6 +133,50 @@ class TestKnnMerge:
         assert set(merged_ids) == set(direct_ids)
         np.testing.assert_allclose(np.sort(merged_d), np.sort(direct_d), atol=1e-9)
 
+    @staticmethod
+    def _reference_merge(partials, k):
+        """The pre-vectorisation dict+heap implementation."""
+        import heapq
+
+        best = {}
+        for ids, dists in partials:
+            for i, dist in zip(np.asarray(ids), np.asarray(dists)):
+                i, dist = int(i), float(dist)
+                if i not in best or dist < best[i]:
+                    best[i] = dist
+        top = heapq.nsmallest(k, [(d, i) for i, d in best.items()])
+        if not top:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64)
+        return (np.array([t[1] for t in top], dtype=np.int64),
+                np.array([t[0] for t in top], dtype=np.float64))
+
+    def test_matches_scalar_reference(self, rng):
+        for trial in range(20):
+            partials = []
+            for _ in range(rng.integers(1, 5)):
+                n = int(rng.integers(0, 12))
+                ids = rng.integers(0, 15, size=n)
+                dists = np.round(rng.uniform(0, 4, size=n), 1)  # force ties
+                partials.append((ids, dists))
+            k = int(rng.integers(1, 10))
+            got_ids, got_d = knn_merge(partials, k)
+            ref_ids, ref_d = self._reference_merge(partials, k)
+            np.testing.assert_array_equal(got_ids, ref_ids)
+            np.testing.assert_array_equal(got_d, ref_d)
+            assert got_ids.dtype == np.int64 and got_d.dtype == np.float64
+
+    def test_deterministic_distance_id_order(self):
+        a = (np.array([7, 3, 9]), np.array([1.0, 1.0, 0.5]))
+        b = (np.array([5]), np.array([1.0]))
+        ids, dists = knn_merge([a, b], 4)
+        assert list(ids) == [9, 3, 5, 7]
+        np.testing.assert_allclose(dists, [0.5, 1.0, 1.0, 1.0])
+
+    def test_all_empty_partials(self):
+        empty = (np.empty(0, dtype=np.int64), np.empty(0))
+        ids, dists = knn_merge([empty, empty], 3)
+        assert len(ids) == 0 and len(dists) == 0
+
 
 @given(
     arrays(np.float64, st.tuples(st.integers(2, 6), st.integers(2, 12)),

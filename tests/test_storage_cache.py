@@ -1,0 +1,223 @@
+"""Tests for the DFS read cache, delta registry, and partition metadata.
+
+The cache contract: *logical* read counters (``bytes_read`` /
+``partitions_read``) and simulated cost accounting are byte-identical
+with the cache enabled or disabled — only the physical deserialisation
+work changes, tracked by ``cache_hits`` / ``cache_misses``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ClimberConfig, ClimberIndex
+from repro.datasets import random_walk_dataset
+from repro.exceptions import PartitionNotFoundError, StorageError
+from repro.storage import PartitionFile, SimulatedDFS
+
+
+def make_partition(pid="p0", n_clusters=2, per_cluster=4, length=8, seed=0):
+    rng = np.random.default_rng(seed)
+    clusters = {}
+    next_id = 0
+    for c in range(n_clusters):
+        ids = np.arange(next_id, next_id + per_cluster)
+        next_id += per_cluster
+        clusters[f"g0/{c}"] = (ids, rng.normal(size=(per_cluster, length)))
+    return PartitionFile.from_clusters(pid, clusters)
+
+
+class TestReadCache:
+    def test_hit_and_miss_counters(self, tmp_path):
+        dfs = SimulatedDFS(backing_dir=tmp_path, cache_bytes=1 << 20)
+        part = make_partition("a")
+        dfs.write_partition(part)
+        dfs.read_partition("a")
+        dfs.read_partition("a")
+        dfs.read_partition("a")
+        assert dfs.counters.cache_misses == 1
+        assert dfs.counters.cache_hits == 2
+
+    def test_logical_counters_charged_on_hits(self, tmp_path):
+        dfs = SimulatedDFS(backing_dir=tmp_path, cache_bytes=1 << 20)
+        part = make_partition("a")
+        dfs.write_partition(part)
+        dfs.read_partition("a")
+        dfs.read_partition("a")
+        assert dfs.counters.partitions_read == 2
+        assert dfs.counters.bytes_read == 2 * part.nbytes
+
+    def test_cached_read_returns_equal_content(self, tmp_path):
+        dfs = SimulatedDFS(backing_dir=tmp_path, cache_bytes=1 << 20)
+        part = make_partition("a", seed=5)
+        dfs.write_partition(part)
+        first = dfs.read_partition("a")
+        second = dfs.read_partition("a")
+        assert second is first  # served from cache, no re-deserialisation
+        np.testing.assert_allclose(second.values, part.values)
+
+    def test_byte_bound_respected(self, tmp_path):
+        parts = [make_partition(f"p{i}", per_cluster=8, seed=i) for i in range(4)]
+        budget = parts[0].nbytes * 2 + 1
+        dfs = SimulatedDFS(backing_dir=tmp_path, cache_bytes=budget)
+        for p in parts:
+            dfs.write_partition(p)
+        for p in parts:
+            dfs.read_partition(p.partition_id)
+        assert dfs.cache_used_bytes <= budget
+        assert len(dfs._cache) == 2  # LRU kept the last two
+
+    def test_lru_eviction_order(self, tmp_path):
+        parts = [make_partition(f"p{i}", per_cluster=8, seed=i) for i in range(3)]
+        dfs = SimulatedDFS(backing_dir=tmp_path,
+                           cache_bytes=parts[0].nbytes * 2 + 1)
+        for p in parts:
+            dfs.write_partition(p)
+        dfs.read_partition("p0")
+        dfs.read_partition("p1")
+        dfs.read_partition("p0")   # refresh p0
+        dfs.read_partition("p2")   # evicts p1, the least recently used
+        assert set(dfs._cache) == {"p0", "p2"}
+
+    def test_oversized_partition_not_cached(self, tmp_path):
+        part = make_partition("big", per_cluster=64)
+        dfs = SimulatedDFS(backing_dir=tmp_path, cache_bytes=part.nbytes - 1)
+        dfs.write_partition(part)
+        dfs.read_partition("big")
+        assert dfs.cache_used_bytes == 0
+
+    def test_write_invalidates_stale_cache_entry(self, tmp_path):
+        """Defensive: overwrites are rejected today, but if an entry ever
+        lingered under a written id it must not shadow the new bytes."""
+        dfs = SimulatedDFS(backing_dir=tmp_path, cache_bytes=1 << 20)
+        fresh = make_partition("x", seed=1)
+        dfs._cache["x"] = make_partition("x", seed=2)  # stale injection
+        dfs.write_partition(fresh)
+        got = dfs.read_partition("x")
+        np.testing.assert_allclose(got.values, fresh.values)
+
+    def test_cache_clear(self, tmp_path):
+        dfs = SimulatedDFS(backing_dir=tmp_path, cache_bytes=1 << 20)
+        dfs.write_partition(make_partition("a"))
+        dfs.read_partition("a")
+        assert dfs.cache_used_bytes > 0
+        dfs.cache_clear()
+        assert dfs.cache_used_bytes == 0
+        dfs.read_partition("a")
+        assert dfs.counters.cache_misses == 2
+
+    def test_cache_off_never_counts(self):
+        dfs = SimulatedDFS()
+        dfs.write_partition(make_partition("a"))
+        dfs.read_partition("a")
+        assert dfs.counters.cache_hits == 0
+        assert dfs.counters.cache_misses == 0
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(StorageError):
+            SimulatedDFS(cache_bytes=-1)
+
+
+class TestDeltaRegistry:
+    def test_delta_partitions_sorted(self):
+        dfs = SimulatedDFS()
+        for pid in ("beta1.d1", "beta1.d0", "beta12.d0", "beta1"):
+            dfs.write_partition(make_partition(pid))
+        assert dfs.delta_partitions("beta1") == ["beta1.d0", "beta1.d1"]
+        assert dfs.delta_partitions("beta12") == ["beta12.d0"]
+        assert dfs.delta_partitions("beta2") == []
+
+    def test_registry_matches_prefix_scan(self):
+        dfs = SimulatedDFS()
+        names = ["beta0", "beta0.d0", "beta0.d1", "beta0.d10", "beta0.d2",
+                 "beta10.d0"]
+        for pid in names:
+            dfs.write_partition(make_partition(pid))
+        for base in ("beta0", "beta10"):
+            scan = [p for p in dfs.list_partitions()
+                    if p.startswith(f"{base}.d")]
+            assert dfs.delta_partitions(base) == scan
+
+    def test_attach_rebuilds_registry(self, tmp_path):
+        dfs = SimulatedDFS(backing_dir=tmp_path)
+        dfs.write_partition(make_partition("beta3"))
+        dfs.write_partition(make_partition("beta3.d0"))
+        fresh = SimulatedDFS(backing_dir=tmp_path)
+        assert fresh.attach() == 2
+        assert fresh.delta_partitions("beta3") == ["beta3.d0"]
+
+
+class TestRecordCountMetadata:
+    def test_record_count_after_write(self):
+        dfs = SimulatedDFS()
+        part = make_partition("a", n_clusters=3, per_cluster=5)
+        dfs.write_partition(part)
+        assert dfs.record_count("a") == 15
+
+    def test_record_count_missing_partition(self):
+        dfs = SimulatedDFS()
+        with pytest.raises(PartitionNotFoundError):
+            dfs.record_count("ghost")
+
+    def test_attach_reads_headers_not_payloads(self, tmp_path):
+        writer = SimulatedDFS(backing_dir=tmp_path)
+        parts = [make_partition(f"p{i}", per_cluster=6, seed=i) for i in range(3)]
+        for p in parts:
+            writer.write_partition(p)
+        fresh = SimulatedDFS(backing_dir=tmp_path)
+        assert fresh.attach() == 3
+        for p in parts:
+            assert fresh.record_count(p.partition_id) == p.record_count
+            assert fresh.partition_nbytes(p.partition_id) == p.nbytes
+
+    def test_stored_size_from_meta_legacy_payload(self):
+        assert PartitionFile.stored_size_from_meta({"header": {}}) is None
+
+
+class TestReopenUsesMetadata:
+    CFG = ClimberConfig(word_length=8, n_pivots=24, prefix_length=5,
+                        capacity=120, sample_fraction=0.25,
+                        n_input_partitions=12, seed=4)
+
+    def test_reopen_reads_no_payload_bytes(self):
+        ds = random_walk_dataset(1200, 48, seed=3)
+        dfs = SimulatedDFS()
+        index = ClimberIndex.build(ds, self.CFG, dfs=dfs)
+        blob = index.save_global_index()
+        before = dfs.counters.snapshot()
+        reopened = ClimberIndex.reopen(blob, dfs, self.CFG)
+        assert reopened.n_records == ds.count
+        assert dfs.counters.bytes_read == before.bytes_read
+        assert dfs.counters.partitions_read == before.partitions_read
+
+
+class TestAccountingParityWithCache:
+    """Acceptance: logical reads and sim_seconds identical, cache on or off."""
+
+    def test_query_workload_counters_identical(self, tmp_path):
+        ds = random_walk_dataset(1500, 48, seed=9)
+        cfg = ClimberConfig(word_length=8, n_pivots=32, prefix_length=6,
+                            capacity=100, sample_fraction=0.25,
+                            n_input_partitions=12, seed=2)
+        build_dfs = SimulatedDFS(backing_dir=tmp_path / "dfs")
+        index = ClimberIndex.build(ds, cfg, dfs=build_dfs)
+        blob = index.save_global_index()
+
+        results = {}
+        for cache_bytes in (0, 1 << 26):
+            dfs = SimulatedDFS(backing_dir=tmp_path / "dfs",
+                               cache_bytes=cache_bytes)
+            dfs.attach()
+            idx = ClimberIndex.reopen(blob, dfs, cfg)
+            sims = []
+            for i in range(0, 300, 13):
+                res = idx.knn(ds.values[i], 10, variant="adaptive")
+                sims.append(res.stats.sim_seconds)
+            results[cache_bytes] = (dfs.counters.bytes_read,
+                                    dfs.counters.partitions_read, sims)
+        cold = results[0]
+        warm = results[1 << 26]
+        assert warm[0] == cold[0]
+        assert warm[1] == cold[1]
+        assert warm[2] == cold[2]
