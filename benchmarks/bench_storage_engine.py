@@ -1,0 +1,232 @@
+"""Storage-engine benchmark: v1 blob deserialisation vs v2 zero-copy reads.
+
+Before/after measurement of the partition storage hot spot (the last item
+on ROADMAP's profile list): serving a *cluster-targeted* read from a
+disk-resident partition.
+
+* **Cold cluster read** — open a partition and read one trie-node cluster,
+  with all engine/mmap handles dropped between reads.  v1 deserialises the
+  whole partition (JSON header + full ``ids``/``values`` copies) before
+  slicing; v2 parses an 80-byte struct header plus the cluster directory
+  and maps only the requested byte ranges.
+* **Bytes materialised** — how many payload bytes each format touches to
+  answer the same read: the full physical partition for v1 vs
+  header + directory + requested slices for v2.
+
+A correctness gate runs first: an index built over the same data with each
+format must return byte-identical ``knn_batch`` answers and logical DFS
+counters (the Fig. 11(b) access-volume parity contract).  Results land in
+``BENCH_storage_engine.json`` at the repository root.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_storage_engine.py [--smoke]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import ClimberConfig, ClimberIndex
+from repro.datasets import random_walk_dataset, sample_queries
+from repro.storage import (
+    LocalDiskBackend,
+    PartitionFile,
+    SimulatedDFS,
+    StorageEngine,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUT_PATH = REPO_ROOT / "BENCH_storage_engine.json"
+
+
+def make_partitions(smoke: bool) -> list[PartitionFile]:
+    """Synthetic partitions shaped like CLIMBER's trie-cluster layout."""
+    if smoke:
+        n_partitions, n_clusters, per_cluster, length = 4, 16, 6, 64
+    else:
+        n_partitions, n_clusters, per_cluster, length = 24, 48, 12, 256
+    rng = np.random.default_rng(7)
+    parts = []
+    next_id = 0
+    for p in range(n_partitions):
+        clusters = {}
+        for c in range(n_clusters):
+            ids = np.arange(next_id, next_id + per_cluster)
+            next_id += per_cluster
+            clusters[f"G{p}/{c:04d}"] = (
+                ids, rng.normal(size=(per_cluster, length))
+            )
+        parts.append(PartitionFile.from_clusters(f"beta{p}", clusters))
+    return parts
+
+
+def write_format(parts: list[PartitionFile], root: Path, fmt: str) -> None:
+    engine = StorageEngine(LocalDiskBackend(root), partition_format=fmt)
+    for part in parts:
+        engine.write_partition(part)
+    engine.close()
+
+
+def bench_cold_reads(parts: list[PartitionFile], root: Path, fmt: str,
+                     reps: int) -> dict:
+    """Cold cluster-read latency + bytes materialised for one format.
+
+    Every read runs against a fresh engine with no open handles, so v1
+    pays its full deserialisation and v2 its header-parse + range-map on
+    each sample.  (The OS page cache stays warm for both formats — the
+    comparison isolates deserialisation, which is what the formats differ
+    in.)
+    """
+    # One target cluster per partition, mid-layout, read as a 2-key range
+    # (adjacent keys -> v2 coalesces them into one mapped run).
+    targets = []
+    for part in parts:
+        keys = part.cluster_keys()
+        mid = len(keys) // 2
+        targets.append((part.partition_id, keys[mid:mid + 2]))
+
+    checksum = 0.0
+    latencies = []
+    bytes_materialised = 0
+    physical_total = 0
+    engine = StorageEngine(LocalDiskBackend(root), partition_format=fmt)
+    for pid, _ in targets:
+        physical_total += engine.physical_nbytes(pid)
+    engine.close()
+
+    for _ in range(reps):
+        bytes_materialised = 0
+        for pid, keys in targets:
+            backend = LocalDiskBackend(root)
+            engine = StorageEngine(backend, partition_format=fmt)
+            t0 = time.perf_counter()
+            handle = engine.open_partition(pid)
+            ids, values = handle.read_clusters(keys)
+            latencies.append(time.perf_counter() - t0)
+            checksum += float(values[0, 0]) + float(ids[0])
+            if hasattr(handle, "materialised_bytes"):
+                bytes_materialised += handle.materialised_bytes
+            else:  # v1: the whole partition was deserialised
+                bytes_materialised += engine.physical_nbytes(pid)
+            del ids, values, handle
+            engine.close()
+
+    lat = np.array(latencies)
+    return {
+        "format": fmt,
+        "n_reads": len(latencies),
+        "mean_us": float(lat.mean() * 1e6),
+        "p50_us": float(np.percentile(lat, 50) * 1e6),
+        "p95_us": float(np.percentile(lat, 95) * 1e6),
+        "bytes_materialised_per_round": bytes_materialised,
+        "physical_bytes_total": physical_total,
+        "checksum": checksum,  # keeps the reads un-elidable
+    }
+
+
+def parity_gate(smoke: bool, tmp: Path) -> dict:
+    """v1 vs v2 index: identical knn_batch answers and logical counters."""
+    n, length = (800, 48) if smoke else (4_000, 96)
+    dataset = random_walk_dataset(n, length, seed=1)
+    config = dict(word_length=8, n_pivots=32, prefix_length=6, capacity=120,
+                  sample_fraction=0.25, n_input_partitions=16, seed=7)
+    queries = sample_queries(dataset, 20, seed=99).values
+
+    outcomes = {}
+    for fmt in ("v1", "v2"):
+        dfs = SimulatedDFS(backing_dir=tmp / f"parity-{fmt}",
+                           partition_format=fmt)
+        index = ClimberIndex.build(
+            dataset, ClimberConfig(partition_format=fmt, **config), dfs=dfs
+        )
+        results = index.knn_batch(queries, 10)
+        outcomes[fmt] = (results, dfs.counters)
+
+    v1_res, v1_c = outcomes["v1"]
+    v2_res, v2_c = outcomes["v2"]
+    results_identical = all(
+        np.array_equal(a.ids, b.ids)
+        and np.array_equal(a.distances, b.distances)
+        and a.stats.sim_seconds == b.stats.sim_seconds
+        for a, b in zip(v1_res, v2_res)
+    )
+    counters_identical = (
+        v1_c.bytes_read == v2_c.bytes_read
+        and v1_c.partitions_read == v2_c.partitions_read
+        and v1_c.bytes_written == v2_c.bytes_written
+    )
+    return {
+        "n_records": n,
+        "n_queries": len(queries),
+        "results_identical": results_identical,
+        "counters_identical": counters_identical,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small fast run (CI)")
+    parser.add_argument("--reps", type=int, default=None,
+                        help="cold-read repetitions per partition")
+    args = parser.parse_args()
+    reps = args.reps if args.reps is not None else (3 if args.smoke else 15)
+
+    parts = make_partitions(args.smoke)
+    with tempfile.TemporaryDirectory() as tmp:
+        tmp_path = Path(tmp)
+        write_format(parts, tmp_path / "v1", "v1")
+        write_format(parts, tmp_path / "v2", "v2")
+
+        v1 = bench_cold_reads(parts, tmp_path / "v1", "v1", reps)
+        v2 = bench_cold_reads(parts, tmp_path / "v2", "v2", reps)
+        parity = parity_gate(args.smoke, tmp_path)
+
+    latency_speedup = v1["mean_us"] / v2["mean_us"] if v2["mean_us"] else float("inf")
+    bytes_ratio = (
+        v1["bytes_materialised_per_round"] / v2["bytes_materialised_per_round"]
+        if v2["bytes_materialised_per_round"] else float("inf")
+    )
+    print(f"cold cluster read ({v1['n_reads']} samples/format): "
+          f"v1 {v1['mean_us']:.0f} us, v2 {v2['mean_us']:.0f} us "
+          f"-> {latency_speedup:.1f}x")
+    print(f"bytes materialised per round: v1 "
+          f"{v1['bytes_materialised_per_round']:,}, v2 "
+          f"{v2['bytes_materialised_per_round']:,} -> {bytes_ratio:.1f}x fewer")
+    print(f"parity: results {parity['results_identical']}, "
+          f"counters {parity['counters_identical']}")
+
+    payload = {
+        "smoke": args.smoke,
+        "n_partitions": len(parts),
+        "clusters_per_partition": len(parts[0].cluster_keys()),
+        "records_per_partition": parts[0].record_count,
+        "series_length": parts[0].series_length,
+        "reps": reps,
+        "cold_read_v1": v1,
+        "cold_read_v2": v2,
+        "latency_speedup": latency_speedup,
+        "bytes_materialised_ratio": bytes_ratio,
+        "parity": parity,
+    }
+    OUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {OUT_PATH}")
+
+    if not parity["results_identical"] or not parity["counters_identical"]:
+        raise SystemExit("parity check failed")
+    if latency_speedup < 3.0 and bytes_ratio < 3.0:
+        raise SystemExit(
+            f"acceptance not met: {latency_speedup:.1f}x latency, "
+            f"{bytes_ratio:.1f}x bytes"
+        )
+
+
+if __name__ == "__main__":
+    main()

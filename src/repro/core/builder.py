@@ -89,7 +89,8 @@ def build_index_artifacts(
             f"series length {dataset.length} < word length {config.word_length}"
         )
     dfs = dfs if dfs is not None else SimulatedDFS(
-        cache_bytes=config.dfs_cache_bytes
+        cache_bytes=config.dfs_cache_bytes,
+        partition_format=config.partition_format,
     )
     sim = ClusterSimulator(model or CostModel())
     rng = np.random.default_rng(config.seed)

@@ -75,6 +75,12 @@ class ClimberConfig:
         disables caching.  The cache is purely physical: simulated cost
         accounting and the DFS's logical read counters are identical with
         it on or off.
+    partition_format:
+        Physical partition format the builder-created DFS writes: ``"v2"``
+        (default, the zero-copy columnar format served as mmap/frombuffer
+        views) or ``"v1"`` (the legacy blob stream).  Purely physical, like
+        the cache: query results, logical read counters, and simulated
+        cost accounting are byte-identical across formats.
     """
 
     word_length: int = 16
@@ -92,6 +98,7 @@ class ClimberConfig:
     cost_scale: float = 1.0
     sim_partition_bytes: int | None = None
     dfs_cache_bytes: int = 0
+    partition_format: str = "v2"
 
     def __post_init__(self) -> None:
         if self.word_length < 1:
@@ -124,6 +131,11 @@ class ClimberConfig:
             raise ConfigurationError("sim_partition_bytes must be >= 1024")
         if self.dfs_cache_bytes < 0:
             raise ConfigurationError("dfs_cache_bytes must be >= 0")
+        if self.partition_format not in ("v1", "v2"):
+            raise ConfigurationError(
+                f"partition_format must be 'v1' or 'v2', "
+                f"got {self.partition_format!r}"
+            )
 
     @property
     def epsilon(self) -> int:

@@ -64,6 +64,13 @@ def pairwise_euclidean(queries: np.ndarray, data: np.ndarray) -> np.ndarray:
     return np.sqrt(squared_euclidean(queries, data))
 
 
+# Candidate sets at or below this row count skip the einsum/GEMM batch
+# machinery of squared_euclidean: profile shows its fixed setup cost
+# dominating the actual arithmetic for the small per-partition candidate
+# sets the CLIMBER query path produces.
+SMALL_SCAN_THRESHOLD = 64
+
+
 def knn_bruteforce(
     query: np.ndarray,
     data: np.ndarray,
@@ -78,7 +85,21 @@ def knn_bruteforce(
         Both sorted ascending by distance, ties broken by id so results are
         deterministic.  Fewer than ``k`` rows simply yields all of them.
     """
-    d2 = squared_euclidean(query, data)[0]
+    d = as_matrix(data)
+    if d.shape[0] <= SMALL_SCAN_THRESHOLD:
+        q = as_matrix(query)
+        if q.shape[1] != d.shape[1]:
+            raise ValueError(
+                f"length mismatch: queries have n={q.shape[1]}, "
+                f"data n={d.shape[1]}"
+            )
+        qv = q[0]
+        # Same ||a-b||^2 expansion as squared_euclidean, via direct dot
+        # products instead of the (1, n) matrix temporaries.
+        d2 = np.dot(qv, qv) + (d * d).sum(axis=1) - 2.0 * np.dot(d, qv)
+        np.maximum(d2, 0.0, out=d2)
+    else:
+        d2 = squared_euclidean(query, d)[0]
     ids = np.asarray(ids, dtype=np.int64)
     k_eff = min(k, d2.shape[0])
     # argpartition first: the candidate set is usually much larger than k.

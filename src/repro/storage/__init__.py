@@ -1,6 +1,14 @@
 """Simulated distributed storage substrate (stands in for HDFS)."""
 
 from repro.storage.dfs import DfsCounters, SimulatedDFS
+from repro.storage.engine import (
+    LocalDiskBackend,
+    MemoryBackend,
+    PartitionV2View,
+    StorageBackend,
+    StorageEngine,
+    encode_partition_v2,
+)
 from repro.storage.partition import PartitionFile
 from repro.storage.serialization import (
     array_from_bytes,
@@ -13,6 +21,12 @@ __all__ = [
     "SimulatedDFS",
     "DfsCounters",
     "PartitionFile",
+    "StorageEngine",
+    "StorageBackend",
+    "MemoryBackend",
+    "LocalDiskBackend",
+    "PartitionV2View",
+    "encode_partition_v2",
     "array_to_bytes",
     "array_from_bytes",
     "json_to_bytes",

@@ -1,27 +1,31 @@
 """Simulated distributed file system (stands in for HDFS).
 
-Stores :class:`~repro.storage.partition.PartitionFile` objects under string
-ids, tracks byte-level read/write counters (which the benchmarks use for
-the "additional data access" metric of Fig. 11(b)), and optionally persists
-partitions to a backing directory so the "disk-based" property of the
-paper's system is real rather than notional.
+A facade over the :mod:`repro.storage.engine` subsystem: partitions are
+stored through a :class:`~repro.storage.engine.StorageEngine` — in-memory
+or mmap-backed on disk, in binary format v2 (default) or the legacy v1
+blob stream — while this class keeps everything *simulated* about the DFS:
 
-The capacity constraint ``c`` of Def. 12 lives here as ``block_records``:
-builders ask the DFS how many records fit one block.
-
-Query-side additions:
-
-* an opt-in **read cache** (``cache_bytes``) — a byte-bounded LRU over
-  deserialised partitions.  Caching is purely physical: the logical
-  counters (``bytes_read`` / ``partitions_read``) charge every partition
-  touch regardless, so the paper's access-volume metrics are identical
-  with the cache on or off;
+* byte-level read/write counters (the "additional data access" metric of
+  Fig. 11(b)).  Counters are **logical** and format-independent: every
+  partition touch charges the partition's logical size (records plus JSON
+  header length, the v1 accounting) no matter which physical format or
+  cache served the bytes, so the paper's access-volume metrics are
+  byte-identical across storage configurations;
+* the capacity constraint ``c`` of Def. 12 (``block_records``);
+* an opt-in byte-bounded LRU **read cache** over opened partition handles
+  (``cache_bytes``), tracked physically by ``cache_hits``/``cache_misses``;
 * a **delta-name registry** — ``delta_partitions(base)`` answers the
-  ``<base>.d<seq>`` naming-convention lookup from an in-memory index
-  instead of rescanning the full partition list per query;
-* **record-count metadata** — ``record_count(pid)`` is maintained at
-  write/attach time from partition headers, so reopening an index never
-  has to read partition payloads.
+  ``<base>.d<seq>`` naming-convention lookup from an in-memory index;
+* **header metadata** — ``record_count(pid)`` / ``series_length(pid)``
+  maintained at write/attach time so reopening an index, or validating an
+  append, never reads partition payloads.
+
+With ``partition_format="v2"`` a read returns a lazy
+:class:`~repro.storage.engine.PartitionV2View` whose cluster reads map
+only the requested byte ranges; ``partition_format="v1"`` preserves the
+seed behaviour exactly (in-memory: the original
+:class:`~repro.storage.partition.PartitionFile` objects, zero
+serialisation; on disk: full-blob deserialisation per read).
 """
 
 from __future__ import annotations
@@ -33,8 +37,9 @@ from pathlib import Path
 
 from repro.exceptions import PartitionNotFoundError, StorageError
 from repro.series import series_nbytes
+from repro.storage.engine import LocalDiskBackend, MemoryBackend, StorageEngine
+from repro.storage.engine.engine import PartitionHandle
 from repro.storage.partition import PartitionFile
-from repro.storage.serialization import json_from_bytes, read_blob
 
 __all__ = ["SimulatedDFS", "DfsCounters"]
 
@@ -73,13 +78,17 @@ class SimulatedDFS:
     block_bytes:
         Storage block size; the paper uses 64 or 128 MB HDFS blocks.
     backing_dir:
-        If given, partitions are additionally serialised to
-        ``backing_dir/<partition_id>.part`` and reads deserialise from
-        disk, making I/O genuinely disk-based.
+        If given, partitions are persisted to files under this directory
+        and served through mmap, making I/O genuinely disk-based.
     cache_bytes:
-        Byte budget of the LRU read cache over deserialised partitions;
+        Byte budget of the LRU read cache over opened partition handles;
         0 (the default) disables caching.  Logical read counters are
         unaffected either way.
+    partition_format:
+        Physical format for newly written partitions: ``"v2"`` (default,
+        the zero-copy columnar format) or ``"v1"`` (the legacy blob
+        stream).  Reads sniff the stored format, so mixed directories and
+        old payloads stay readable regardless of this setting.
     """
 
     def __init__(
@@ -87,6 +96,7 @@ class SimulatedDFS:
         block_bytes: int = _DEFAULT_BLOCK_BYTES,
         backing_dir: str | Path | None = None,
         cache_bytes: int = 0,
+        partition_format: str = "v2",
     ) -> None:
         if block_bytes < 1024:
             raise StorageError("block_bytes must be >= 1024")
@@ -96,14 +106,34 @@ class SimulatedDFS:
         self.cache_bytes = cache_bytes
         self.backing_dir = Path(backing_dir) if backing_dir else None
         if self.backing_dir:
-            self.backing_dir.mkdir(parents=True, exist_ok=True)
+            backend = LocalDiskBackend(self.backing_dir)
+        else:
+            backend = MemoryBackend()
+        self._engine = StorageEngine(backend, partition_format=partition_format)
+        # v1 + in-memory keeps the seed's object store: partitions held as
+        # live PartitionFile objects with zero serialisation cost.  Every
+        # other configuration stores encoded bytes in the engine.
         self._partitions: dict[str, PartitionFile] = {}
         self._sizes: dict[str, int] = {}
         self._record_counts: dict[str, int] = {}
+        self._series_lengths: dict[str, int] = {}
         self._deltas: dict[str, list[str]] = {}
-        self._cache: OrderedDict[str, PartitionFile] = OrderedDict()
+        self._cache: OrderedDict[str, PartitionHandle] = OrderedDict()
         self._cache_used = 0
         self.counters = DfsCounters()
+
+    @property
+    def partition_format(self) -> str:
+        """Format newly written partitions are encoded in."""
+        return self._engine.partition_format
+
+    @property
+    def engine(self) -> StorageEngine:
+        """The underlying storage engine (format/backends/raw access)."""
+        return self._engine
+
+    def _object_store(self) -> bool:
+        return self.partition_format == "v1" and not self.backing_dir
 
     # -- capacity ---------------------------------------------------------------
 
@@ -116,34 +146,31 @@ class SimulatedDFS:
     def attach(self) -> int:
         """Register the partitions already present in the backing directory.
 
-        Lets a fresh process reopen a disk-persisted index: the DFS scans
-        ``backing_dir`` for ``*.part`` files and registers them without
-        reading their payloads (only the first header blob of each file;
-        legacy files lacking size metadata fall back to a full read).
-        Returns the number of partitions attached.
+        Lets a fresh process reopen a disk-persisted index: the engine
+        lists the stored partitions and reads only their headers (v2
+        header + directory, or the v1 meta blob; legacy v1 files lacking
+        size metadata fall back to a full read).  Returns the number of
+        partitions attached.
         """
         if not self.backing_dir:
             raise StorageError("attach() requires a backing_dir")
         attached = 0
-        for path in sorted(self.backing_dir.glob("*.part")):
-            pid = path.stem
+        for pid in self._engine.list_partitions():
             if pid in self._sizes:
                 continue
-            with path.open("rb") as fh:
-                meta = json_from_bytes(read_blob(fh))
-            info = PartitionFile.stored_size_from_meta(meta)
-            if info is None:
-                part = PartitionFile.from_bytes(path.read_bytes())
-                info = (part.nbytes, part.record_count)
-            self._register(pid, *info)
+            meta = self._engine.partition_meta(pid)
+            self._register(pid, meta.logical_nbytes, meta.record_count,
+                           meta.series_length)
             attached += 1
         return attached
 
     # -- write/read ----------------------------------------------------------------
 
-    def _register(self, pid: str, nbytes: int, record_count: int) -> None:
+    def _register(self, pid: str, nbytes: int, record_count: int,
+                  series_length: int) -> None:
         self._sizes[pid] = nbytes
         self._record_counts[pid] = record_count
+        self._series_lengths[pid] = series_length
         base, sep, _ = pid.partition(".d")
         if sep:
             insort(self._deltas.setdefault(base, []), pid)
@@ -153,20 +180,26 @@ class SimulatedDFS:
         if pid in self._sizes:
             raise StorageError(f"partition {pid!r} already exists")
         nbytes = partition.nbytes
-        if self.backing_dir:
-            path = self.backing_dir / f"{pid}.part"
-            path.write_bytes(partition.to_bytes())
-        else:
+        if self._object_store():
             self._partitions[pid] = partition
+        else:
+            self._engine.write_partition(partition)
         # Defensive invalidation: duplicate ids are rejected above, so a
         # cached entry can never be stale today — but any future overwrite
         # path must evict here, and the cost is one dict lookup.
         self._cache_evict(pid)
-        self._register(pid, nbytes, partition.record_count)
+        self._register(pid, nbytes, partition.record_count,
+                       partition.series_length)
         self.counters.bytes_written += nbytes
         self.counters.partitions_written += 1
 
-    def read_partition(self, partition_id: str) -> PartitionFile:
+    def read_partition(self, partition_id: str) -> PartitionHandle:
+        """One partition, as a :class:`PartitionFile` (v1) or lazy v2 view.
+
+        Both handle types expose the same access interface; with format v2
+        nothing beyond the header and cluster directory is materialised
+        until cluster ranges are actually read.
+        """
         if partition_id not in self._sizes:
             raise PartitionNotFoundError(f"no partition {partition_id!r}")
         # Logical accounting is cache-independent: the paper's access-volume
@@ -180,18 +213,17 @@ class SimulatedDFS:
                 self._cache.move_to_end(partition_id)
                 return cached
             self.counters.cache_misses += 1
-        if self.backing_dir:
-            path = self.backing_dir / f"{partition_id}.part"
-            part = PartitionFile.from_bytes(path.read_bytes())
+        if self._object_store():
+            part: PartitionHandle = self._partitions[partition_id]
         else:
-            part = self._partitions[partition_id]
+            part = self._engine.open_partition(partition_id)
         if self.cache_bytes:
             self._cache_insert(partition_id, part)
         return part
 
     # -- read cache --------------------------------------------------------------
 
-    def _cache_insert(self, pid: str, part: PartitionFile) -> None:
+    def _cache_insert(self, pid: str, part: PartitionHandle) -> None:
         nbytes = self._sizes[pid]
         if nbytes > self.cache_bytes:
             return
@@ -241,6 +273,12 @@ class SimulatedDFS:
         if partition_id not in self._record_counts:
             raise PartitionNotFoundError(f"no partition {partition_id!r}")
         return self._record_counts[partition_id]
+
+    def series_length(self, partition_id: str) -> int:
+        """Series length of a partition, from header metadata (no payload read)."""
+        if partition_id not in self._series_lengths:
+            raise PartitionNotFoundError(f"no partition {partition_id!r}")
+        return self._series_lengths[partition_id]
 
     @property
     def total_bytes(self) -> int:

@@ -1,0 +1,44 @@
+"""Zero-copy storage engine: columnar partition format v2 over pluggable backends.
+
+The engine decomposes physical partition storage into three layers:
+
+* :mod:`repro.storage.engine.format` — the versioned binary partition
+  format v2: fixed-width struct header, packed cluster directory and
+  64-byte-aligned raw C-order payloads, served as zero-copy NumPy views;
+* :mod:`repro.storage.engine.backend` — the :class:`StorageBackend`
+  byte-range protocol with in-memory and mmap-backed local-disk
+  implementations;
+* :mod:`repro.storage.engine.engine` — the :class:`StorageEngine` facade
+  that writes either format, opens partitions lazily, and answers
+  cluster-range reads by mapping only the requested byte slices.
+
+:class:`~repro.storage.SimulatedDFS` fronts this package; its logical
+read/write counters are format-independent by construction.
+"""
+
+from repro.storage.engine.backend import (
+    LocalDiskBackend,
+    MemoryBackend,
+    StorageBackend,
+)
+from repro.storage.engine.engine import PartitionMeta, StorageEngine
+from repro.storage.engine.format import (
+    FORMAT_V2_MAGIC,
+    PartitionV2View,
+    decode_v2_header,
+    encode_partition_v2,
+    is_v2_payload,
+)
+
+__all__ = [
+    "StorageBackend",
+    "MemoryBackend",
+    "LocalDiskBackend",
+    "StorageEngine",
+    "PartitionMeta",
+    "PartitionV2View",
+    "FORMAT_V2_MAGIC",
+    "encode_partition_v2",
+    "decode_v2_header",
+    "is_v2_payload",
+]

@@ -1,0 +1,205 @@
+"""Pluggable byte-range storage backends.
+
+A :class:`StorageBackend` stores immutable named blobs and serves arbitrary
+byte ranges from them.  The contract is deliberately tiny — ``write``,
+``read_range``, ``size``, ``delete`` — so a partition format that knows its
+own offsets (format v2) can be served zero-copy from any medium:
+
+* :class:`MemoryBackend` — blobs in a dict; ranges are memoryviews over
+  the stored bytes.
+* :class:`LocalDiskBackend` — one file per blob under a root directory;
+  ranges are memoryviews over lazily-opened read-only ``mmap`` handles, so
+  the OS pages in only the bytes actually touched.
+
+Every ``read_range`` is bounds-checked: a request past the end of the blob
+raises :class:`StorageError` rather than silently returning a short view,
+which is what turns a corrupt partition directory into a clean error.
+"""
+
+from __future__ import annotations
+
+import mmap
+import os
+from collections import OrderedDict
+from pathlib import Path
+from typing import Iterator, Protocol, runtime_checkable
+
+from repro.exceptions import PartitionNotFoundError, StorageError
+
+__all__ = ["StorageBackend", "MemoryBackend", "LocalDiskBackend"]
+
+
+@runtime_checkable
+class StorageBackend(Protocol):
+    """Byte-range object store: named immutable blobs, sliceable reads."""
+
+    def write(self, name: str, data: bytes) -> None:
+        """Store ``data`` under ``name`` (replacing any previous blob)."""
+
+    def read_range(self, name: str, offset: int, length: int) -> memoryview:
+        """A zero-copy view of ``length`` bytes starting at ``offset``."""
+
+    def size(self, name: str) -> int:
+        """Stored size of one blob in bytes."""
+
+    def delete(self, name: str) -> None:
+        """Remove one blob."""
+
+    def exists(self, name: str) -> bool:
+        """Whether ``name`` is stored."""
+
+    def list_names(self) -> list[str]:
+        """All stored blob names, sorted."""
+
+    def close(self) -> None:
+        """Release any OS handles (open mmaps); blobs stay stored."""
+
+
+def _check_range(name: str, offset: int, length: int, total: int) -> None:
+    if offset < 0 or length < 0:
+        raise StorageError(
+            f"negative range ({offset}, {length}) for object {name!r}"
+        )
+    if offset + length > total:
+        raise StorageError(
+            f"range [{offset}, {offset + length}) outside object {name!r} "
+            f"({total} bytes)"
+        )
+
+
+class MemoryBackend:
+    """In-process blob store; ranges are views over the stored bytes."""
+
+    def __init__(self) -> None:
+        self._blobs: dict[str, bytes] = {}
+
+    def write(self, name: str, data: bytes) -> None:
+        self._blobs[name] = bytes(data)
+
+    def _blob(self, name: str) -> bytes:
+        blob = self._blobs.get(name)
+        if blob is None:
+            raise PartitionNotFoundError(f"no stored object {name!r}")
+        return blob
+
+    def read_range(self, name: str, offset: int, length: int) -> memoryview:
+        blob = self._blob(name)
+        _check_range(name, offset, length, len(blob))
+        return memoryview(blob)[offset:offset + length]
+
+    def size(self, name: str) -> int:
+        return len(self._blob(name))
+
+    def delete(self, name: str) -> None:
+        if self._blobs.pop(name, None) is None:
+            raise PartitionNotFoundError(f"no stored object {name!r}")
+
+    def exists(self, name: str) -> bool:
+        return name in self._blobs
+
+    def list_names(self) -> list[str]:
+        return sorted(self._blobs)
+
+    def close(self) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return len(self._blobs)
+
+
+class LocalDiskBackend:
+    """One file per blob under ``root``, read through cached mmap handles.
+
+    Handles are opened lazily on the first range read of a blob, reused
+    LRU-style, and capped at ``max_open_handles`` so a store with many
+    partitions cannot exhaust the process file-descriptor limit.  A handle
+    whose buffer is still referenced by live NumPy views cannot be closed
+    (CPython refuses while exports exist); such handles are dropped from
+    the cache and reclaimed when the last view dies.  Overwrites go
+    through an atomic rename, so views over a replaced blob keep reading
+    the old inode instead of faulting.
+    """
+
+    def __init__(self, root: str | Path, max_open_handles: int = 256) -> None:
+        if max_open_handles < 1:
+            raise StorageError("max_open_handles must be >= 1")
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.max_open_handles = max_open_handles
+        self._maps: "OrderedDict[str, mmap.mmap]" = OrderedDict()
+
+    def _path(self, name: str) -> Path:
+        if not name or "/" in name or "\\" in name or name.startswith("."):
+            raise StorageError(f"invalid object name {name!r}")
+        return self.root / name
+
+    def write(self, name: str, data: bytes) -> None:
+        path = self._path(name)
+        self._drop_handle(name)
+        # Write-then-rename: an overwrite swaps the directory entry while
+        # any still-mapped previous version lives on under its old inode.
+        tmp = path.with_name(f".{name}.tmp")
+        tmp.write_bytes(data)
+        os.replace(tmp, path)
+
+    def _map(self, name: str) -> mmap.mmap:
+        handle = self._maps.get(name)
+        if handle is None:
+            path = self._path(name)
+            try:
+                with path.open("rb") as fh:
+                    handle = mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ)
+            except FileNotFoundError:
+                raise PartitionNotFoundError(f"no stored object {name!r}")
+            except ValueError:
+                raise StorageError(f"cannot map empty object {name!r}")
+            self._maps[name] = handle
+            while len(self._maps) > self.max_open_handles:
+                self._drop_handle(next(iter(self._maps)))
+        else:
+            self._maps.move_to_end(name)
+        return handle
+
+    def read_range(self, name: str, offset: int, length: int) -> memoryview:
+        handle = self._map(name)
+        _check_range(name, offset, length, len(handle))
+        return memoryview(handle)[offset:offset + length]
+
+    def size(self, name: str) -> int:
+        handle = self._maps.get(name)
+        if handle is not None:
+            return len(handle)
+        path = self._path(name)
+        try:
+            return os.stat(path).st_size
+        except FileNotFoundError:
+            raise PartitionNotFoundError(f"no stored object {name!r}")
+
+    def delete(self, name: str) -> None:
+        path = self._path(name)
+        self._drop_handle(name)
+        try:
+            path.unlink()
+        except FileNotFoundError:
+            raise PartitionNotFoundError(f"no stored object {name!r}")
+
+    def exists(self, name: str) -> bool:
+        return self._path(name).is_file()
+
+    def list_names(self) -> list[str]:
+        return sorted(p.name for p in self.root.iterdir() if p.is_file())
+
+    def _drop_handle(self, name: str) -> None:
+        handle = self._maps.pop(name, None)
+        if handle is not None:
+            try:
+                handle.close()
+            except BufferError:
+                pass  # live views keep the mapping alive; GC reclaims it
+
+    def close(self) -> None:
+        for name in list(self._maps):
+            self._drop_handle(name)
+
+    def _iter_handles(self) -> Iterator[mmap.mmap]:  # for tests
+        return iter(self._maps.values())

@@ -1,0 +1,195 @@
+"""The storage engine: lazy partition access over a pluggable backend.
+
+:class:`StorageEngine` owns the mapping from partition ids to stored blobs
+and speaks both partition formats:
+
+* **v2** (default) — :func:`~repro.storage.engine.format.encode_partition_v2`
+  on write; reads open a :class:`~repro.storage.engine.format.PartitionV2View`
+  that parses only header + directory and maps payload ranges on demand.
+* **v1** — the legacy :meth:`PartitionFile.to_bytes` blob stream; reads
+  deserialise the full partition (the compatibility shim).
+
+The format of a *stored* partition is sniffed from its leading magic bytes,
+so an engine configured for v2 transparently reads partitions written by a
+v1 engine (and vice versa) — a backing directory can mix generations.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Iterable, Union
+
+import numpy as np
+
+from repro.exceptions import PartitionNotFoundError, StorageError
+from repro.storage.engine.backend import StorageBackend
+from repro.storage.engine.format import (
+    PartitionV2View,
+    encode_partition_v2,
+    is_v2_payload,
+)
+from repro.storage.partition import PartitionFile
+from repro.storage.serialization import json_from_bytes
+
+__all__ = ["StorageEngine", "PartitionMeta", "PartitionHandle"]
+
+#: Anything the engine hands back from :meth:`StorageEngine.open_partition`:
+#: a fully-deserialised v1 partition or a lazy v2 view.  Both expose the
+#: same access interface (``read_cluster``/``read_clusters``/``read_all``/
+#: ``cluster_keys``/``nbytes``/``record_count``/``series_length``/...).
+PartitionHandle = Union[PartitionFile, PartitionV2View]
+
+_V1_BLOB_LEN = struct.Struct("<Q")
+
+
+@dataclass(frozen=True)
+class PartitionMeta:
+    """Header-level partition metadata (no payload bytes read)."""
+
+    logical_nbytes: int
+    record_count: int
+    series_length: int
+
+
+class StorageEngine:
+    """Write/read partitions through a :class:`StorageBackend`.
+
+    Parameters
+    ----------
+    backend:
+        The byte store (memory or mmap-backed local disk).
+    partition_format:
+        Format for *newly written* partitions: ``"v2"`` (default) or
+        ``"v1"``.  Reads always sniff the stored format.
+    """
+
+    SUFFIX = ".part"
+
+    def __init__(
+        self, backend: StorageBackend, partition_format: str = "v2"
+    ) -> None:
+        if partition_format not in ("v1", "v2"):
+            raise StorageError(
+                f"unknown partition format {partition_format!r} "
+                "(expected 'v1' or 'v2')"
+            )
+        self.backend = backend
+        self.partition_format = partition_format
+
+    def _name(self, partition_id: str) -> str:
+        return f"{partition_id}{self.SUFFIX}"
+
+    # -- write ------------------------------------------------------------------
+
+    def write_partition(self, partition: PartitionFile) -> int:
+        """Encode and store one partition; returns the physical byte count."""
+        if self.partition_format == "v2":
+            payload = encode_partition_v2(partition)
+        else:
+            payload = partition.to_bytes()
+        self.backend.write(self._name(partition.partition_id), payload)
+        return len(payload)
+
+    # -- read -------------------------------------------------------------------
+
+    def has_partition(self, partition_id: str) -> bool:
+        return self.backend.exists(self._name(partition_id))
+
+    def open_partition(self, partition_id: str) -> PartitionHandle:
+        """Open a stored partition in whichever format it was written.
+
+        v2 payloads come back as a lazy zero-copy view (header + directory
+        parsed, payloads untouched); v1 payloads are fully deserialised.
+        """
+        name = self._name(partition_id)
+        if not self.backend.exists(name):
+            raise PartitionNotFoundError(f"no partition {partition_id!r}")
+        size = self.backend.size(name)
+        if is_v2_payload(self.backend.read_range(name, 0, min(size, 8))):
+            return PartitionV2View(
+                lambda offset, length: self.backend.read_range(
+                    name, offset, length
+                ),
+                physical_size=size,
+            )
+        return PartitionFile.from_bytes(
+            bytes(self.backend.read_range(name, 0, size))
+        )
+
+    def read_cluster_ranges(
+        self, partition_id: str, keys: Iterable[str]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Concatenated records of the requested clusters.
+
+        For v2 partitions only the byte ranges covering ``keys`` are
+        mapped; the v1 shim deserialises the partition and slices it.
+        """
+        return self.open_partition(partition_id).read_clusters(list(keys))
+
+    # -- metadata ---------------------------------------------------------------
+
+    def partition_meta(self, partition_id: str) -> PartitionMeta:
+        """Logical size, record count and series length from headers alone.
+
+        Legacy v1 payloads written before size metadata existed fall back
+        to a full deserialisation (the migration path).
+        """
+        name = self._name(partition_id)
+        if not self.backend.exists(name):
+            raise PartitionNotFoundError(f"no partition {partition_id!r}")
+        size = self.backend.size(name)
+        if is_v2_payload(self.backend.read_range(name, 0, min(size, 8))):
+            view = PartitionV2View(
+                lambda offset, length: self.backend.read_range(
+                    name, offset, length
+                ),
+                physical_size=size,
+            )
+            return PartitionMeta(view.nbytes, view.record_count,
+                                 view.series_length)
+        if size < _V1_BLOB_LEN.size:
+            raise StorageError(f"truncated partition payload {partition_id!r}")
+        (meta_len,) = _V1_BLOB_LEN.unpack(
+            bytes(self.backend.read_range(name, 0, _V1_BLOB_LEN.size))
+        )
+        if _V1_BLOB_LEN.size + meta_len > size:
+            raise StorageError(f"truncated partition payload {partition_id!r}")
+        meta = json_from_bytes(
+            bytes(self.backend.read_range(name, _V1_BLOB_LEN.size, meta_len))
+        )
+        info = PartitionFile.stored_size_from_meta(meta)
+        if info is None:  # legacy payload: no size metadata in the header
+            part = PartitionFile.from_bytes(
+                bytes(self.backend.read_range(name, 0, size))
+            )
+            return PartitionMeta(part.nbytes, part.record_count,
+                                 part.series_length)
+        return PartitionMeta(info[0], info[1], int(meta["series_length"]))
+
+    def physical_nbytes(self, partition_id: str) -> int:
+        """Stored payload size (format-dependent, unlike the logical size)."""
+        name = self._name(partition_id)
+        if not self.backend.exists(name):
+            raise PartitionNotFoundError(f"no partition {partition_id!r}")
+        return self.backend.size(name)
+
+    # -- maintenance ------------------------------------------------------------
+
+    def list_partitions(self) -> list[str]:
+        """Ids of every stored partition, sorted."""
+        n = len(self.SUFFIX)
+        return sorted(
+            name[:-n] for name in self.backend.list_names()
+            if name.endswith(self.SUFFIX)
+        )
+
+    def delete_partition(self, partition_id: str) -> None:
+        name = self._name(partition_id)
+        if not self.backend.exists(name):
+            raise PartitionNotFoundError(f"no partition {partition_id!r}")
+        self.backend.delete(name)
+
+    def close(self) -> None:
+        """Release backend handles (open mmaps); stored data is untouched."""
+        self.backend.close()

@@ -1,0 +1,369 @@
+"""Binary partition format v2: mmap-friendly columnar layout.
+
+Format v1 (:meth:`repro.storage.partition.PartitionFile.to_bytes`) stores a
+JSON header followed by two self-describing array blobs; reading *anything*
+from a v1 payload deserialises the whole partition — JSON parse plus full
+copies of ``ids`` and ``values``.  Format v2 keeps the same logical model
+(contiguous trie-node clusters indexed by an offset directory, paper §VI)
+but lays the bytes out so that a reader touches only the ranges it needs:
+
+.. code-block:: text
+
+    [0, 80)              fixed struct header (magic, version, geometry,
+                         section offsets, total size)
+    [80, 80+meta)        JSON meta blob: {"partition_id": ..., "keys": [...]}
+    [dir_offset, ...)    cluster directory: int64 offsets[n_clusters]
+                         followed by int64 counts[n_clusters]
+    [ids_offset, ...)    raw C-order int64 ids payload, 64-byte aligned
+    [values_offset, ...) raw C-order float64 values payload, 64-byte aligned
+
+Offsets/counts are *record* indices (identical to the v1 header tuples);
+byte ranges are derived by multiplying with the fixed item sizes.  Because
+the payloads are aligned raw C-order buffers, a reader backed by
+``mmap``/``bytes`` serves any cluster as an ``np.frombuffer`` view with
+zero deserialisation cost — exactly the asymmetry CLIMBER's query
+algorithms assume ("reading one cluster touches only its slice").
+
+:class:`PartitionV2View` is the lazy reader: it parses header + directory
+on open (a few hundred bytes) and maps payload slices on demand, exposing
+the same access interface as :class:`~repro.storage.partition.PartitionFile`.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+import numpy as np
+
+from repro.exceptions import StorageError
+from repro.storage.partition import PartitionFile, logical_partition_nbytes
+from repro.storage.serialization import json_from_bytes, json_to_bytes
+
+__all__ = [
+    "FORMAT_V2_MAGIC",
+    "FORMAT_V2_VERSION",
+    "PAYLOAD_ALIGNMENT",
+    "V2Header",
+    "encode_partition_v2",
+    "decode_v2_header",
+    "is_v2_payload",
+    "PartitionV2View",
+]
+
+FORMAT_V2_MAGIC = b"CLMBPRT2"
+FORMAT_V2_VERSION = 2
+PAYLOAD_ALIGNMENT = 64
+
+# magic, version, flags, n_clusters, n_records, series_length, meta_size,
+# dir_offset, ids_offset, values_offset, total_size
+_HEADER = struct.Struct("<8sII8Q")
+HEADER_SIZE = _HEADER.size
+
+_IDS_ITEMSIZE = 8     # int64
+_VALUES_ITEMSIZE = 8  # float64
+
+# v1 payloads start with the little-endian length of their JSON meta blob —
+# a small integer, so the first eight bytes can never equal the magic.
+assert HEADER_SIZE == 80
+
+
+def _align(offset: int, alignment: int) -> int:
+    return -(-offset // alignment) * alignment
+
+
+@dataclass(frozen=True)
+class V2Header:
+    """Decoded fixed-width v2 header (geometry + section offsets)."""
+
+    n_clusters: int
+    n_records: int
+    series_length: int
+    meta_size: int
+    dir_offset: int
+    ids_offset: int
+    values_offset: int
+    total_size: int
+
+    @property
+    def row_nbytes(self) -> int:
+        return self.series_length * _VALUES_ITEMSIZE
+
+
+def is_v2_payload(prefix: bytes | bytearray | memoryview) -> bool:
+    """True if the payload's leading bytes carry the v2 magic."""
+    return bytes(prefix[:8]) == FORMAT_V2_MAGIC
+
+
+def encode_partition_v2(part: PartitionFile) -> bytes:
+    """Serialise a partition into format v2.
+
+    Cluster order follows the partition header (sorted key order from
+    :meth:`PartitionFile.from_clusters`), so the directory describes the
+    same contiguous layout as the v1 header.
+    """
+    keys = list(part.header)
+    n_clusters = len(keys)
+    ids = np.ascontiguousarray(part.ids, dtype=np.int64)
+    values = np.ascontiguousarray(part.values, dtype=np.float64)
+    meta = json_to_bytes({"partition_id": part.partition_id, "keys": keys})
+    dir_offset = _align(HEADER_SIZE + len(meta), 8)
+    dir_nbytes = 2 * 8 * n_clusters
+    ids_offset = _align(dir_offset + dir_nbytes, PAYLOAD_ALIGNMENT)
+    values_offset = _align(ids_offset + ids.nbytes, PAYLOAD_ALIGNMENT)
+    total_size = values_offset + values.nbytes
+
+    out = bytearray(total_size)
+    _HEADER.pack_into(
+        out, 0,
+        FORMAT_V2_MAGIC, FORMAT_V2_VERSION, 0,
+        n_clusters, ids.shape[0], values.shape[1], len(meta),
+        dir_offset, ids_offset, values_offset, total_size,
+    )
+    out[HEADER_SIZE:HEADER_SIZE + len(meta)] = meta
+    offsets = np.array([part.header[k][0] for k in keys], dtype=np.int64)
+    counts = np.array([part.header[k][1] for k in keys], dtype=np.int64)
+    out[dir_offset:dir_offset + 8 * n_clusters] = offsets.tobytes()
+    out[dir_offset + 8 * n_clusters:dir_offset + dir_nbytes] = counts.tobytes()
+    out[ids_offset:ids_offset + ids.nbytes] = ids.tobytes()
+    out[values_offset:values_offset + values.nbytes] = values.tobytes()
+    return bytes(out)
+
+
+def decode_v2_header(
+    buf: bytes | bytearray | memoryview, physical_size: int | None = None
+) -> V2Header:
+    """Parse and validate the fixed v2 header from a payload's first bytes.
+
+    ``physical_size``, when known, is checked against the header's declared
+    total so truncated files fail fast with a clear error.
+    """
+    if len(buf) < HEADER_SIZE:
+        raise StorageError(
+            f"truncated v2 partition: {len(buf)} header bytes < {HEADER_SIZE}"
+        )
+    (magic, version, flags, n_clusters, n_records, series_length, meta_size,
+     dir_offset, ids_offset, values_offset, total_size) = _HEADER.unpack_from(
+        bytes(buf[:HEADER_SIZE])
+    )
+    if magic != FORMAT_V2_MAGIC:
+        raise StorageError(f"bad partition magic {magic!r}")
+    if version != FORMAT_V2_VERSION:
+        raise StorageError(f"unsupported partition format version {version}")
+    if flags != 0:
+        raise StorageError(f"unknown partition format flags {flags:#x}")
+    header = V2Header(
+        n_clusters=n_clusters,
+        n_records=n_records,
+        series_length=series_length,
+        meta_size=meta_size,
+        dir_offset=dir_offset,
+        ids_offset=ids_offset,
+        values_offset=values_offset,
+        total_size=total_size,
+    )
+    dir_nbytes = 2 * 8 * n_clusters
+    consistent = (
+        dir_offset >= HEADER_SIZE + meta_size
+        and ids_offset % PAYLOAD_ALIGNMENT == 0
+        and values_offset % PAYLOAD_ALIGNMENT == 0
+        and ids_offset >= dir_offset + dir_nbytes
+        and values_offset >= ids_offset + n_records * _IDS_ITEMSIZE
+        and total_size == values_offset + n_records * header.row_nbytes
+    )
+    if not consistent:
+        raise StorageError("corrupt v2 partition header: inconsistent offsets")
+    if physical_size is not None and physical_size != total_size:
+        raise StorageError(
+            f"truncated v2 partition: header declares {total_size} bytes, "
+            f"storage holds {physical_size}"
+        )
+    return header
+
+
+class PartitionV2View:
+    """Lazy zero-copy reader over one v2 partition.
+
+    Parameters
+    ----------
+    read_range:
+        ``(offset, length) -> memoryview`` over the partition's bytes
+        (typically a :class:`~repro.storage.engine.backend.StorageBackend`
+        closure over an mmap or an in-memory blob).  Must raise
+        :class:`StorageError` on out-of-range requests.
+    physical_size:
+        Total stored bytes, when the caller knows it; validated against
+        the header's declared size.
+
+    The view exposes the :class:`PartitionFile` access interface
+    (``read_cluster``/``read_clusters``/``read_all``/``ids``/``values``/
+    ``nbytes``/...) but materialises nothing beyond the header, meta blob
+    and cluster directory until a payload range is requested.  Returned
+    arrays are read-only views into the backing buffer; consumers that
+    need writable data copy (``np.concatenate``/``np.vstack`` downstream
+    already do).  ``materialised_bytes`` tracks how many bytes have been
+    mapped — the benchmark's "bytes materialised" metric.
+    """
+
+    def __init__(
+        self,
+        read_range: Callable[[int, int], memoryview],
+        physical_size: int | None = None,
+    ) -> None:
+        self._read = read_range
+        self.v2_header = decode_v2_header(
+            read_range(0, HEADER_SIZE), physical_size
+        )
+        h = self.v2_header
+        meta = json_from_bytes(bytes(read_range(HEADER_SIZE, h.meta_size)))
+        if not isinstance(meta, dict) or "partition_id" not in meta \
+                or "keys" not in meta:
+            raise StorageError("corrupt v2 partition: malformed meta blob")
+        keys = list(meta["keys"])
+        if len(keys) != h.n_clusters:
+            raise StorageError(
+                f"corrupt v2 partition: {len(keys)} keys for "
+                f"{h.n_clusters} directory entries"
+            )
+        dir_nbytes = 2 * 8 * h.n_clusters
+        directory = bytes(read_range(h.dir_offset, dir_nbytes))
+        offsets = np.frombuffer(directory[:8 * h.n_clusters], dtype=np.int64)
+        counts = np.frombuffer(directory[8 * h.n_clusters:], dtype=np.int64)
+        if h.n_clusters and not (
+            np.all(offsets >= 0)
+            and np.all(counts >= 0)
+            and np.all(offsets + counts <= h.n_records)
+        ):
+            raise StorageError(
+                "corrupt v2 partition: directory range outside payload"
+            )
+        self.partition_id = str(meta["partition_id"])
+        self.header: dict[str, tuple[int, int]] = {
+            k: (int(o), int(c)) for k, o, c in zip(keys, offsets, counts)
+        }
+        self.materialised_bytes = HEADER_SIZE + h.meta_size + dir_nbytes
+
+    # -- geometry ---------------------------------------------------------------
+
+    @property
+    def record_count(self) -> int:
+        return self.v2_header.n_records
+
+    @property
+    def series_length(self) -> int:
+        return self.v2_header.series_length
+
+    @property
+    def physical_nbytes(self) -> int:
+        """Stored size of the v2 payload itself."""
+        return self.v2_header.total_size
+
+    @property
+    def nbytes(self) -> int:
+        """*Logical* partition size — identical to the v1 accounting.
+
+        Computed by the shared :func:`logical_partition_nbytes` formula
+        (records with per-record overhead plus the JSON header length), so
+        DFS counters and simulated costs are byte-identical whichever
+        physical format serves the partition.
+        """
+        cached = self.__dict__.get("_nbytes")
+        if cached is None:
+            cached = self.__dict__["_nbytes"] = logical_partition_nbytes(
+                self.record_count, self.series_length, self.header
+            )
+        return cached
+
+    def cluster_keys(self) -> list[str]:
+        return list(self.header)
+
+    def cluster_sizes(self) -> dict[str, int]:
+        return {k: count for k, (_, count) in self.header.items()}
+
+    # -- range mapping ----------------------------------------------------------
+
+    def _map_run(self, start: int, count: int) -> tuple[np.ndarray, np.ndarray]:
+        """Map one contiguous record run as (ids, values) views."""
+        h = self.v2_header
+        ids_nbytes = count * _IDS_ITEMSIZE
+        val_nbytes = count * h.row_nbytes
+        ids = np.frombuffer(
+            self._read(h.ids_offset + start * _IDS_ITEMSIZE, ids_nbytes),
+            dtype=np.int64,
+        )
+        values = np.frombuffer(
+            self._read(h.values_offset + start * h.row_nbytes, val_nbytes),
+            dtype=np.float64,
+        ).reshape(count, h.series_length)
+        self.materialised_bytes += ids_nbytes + val_nbytes
+        return ids, values
+
+    def _runs(self, keys: Iterable[str]) -> list[tuple[int, int]]:
+        """Record runs covering ``keys`` in order, adjacent runs coalesced."""
+        runs: list[list[int]] = []
+        for key in keys:
+            if key not in self.header:
+                raise StorageError(
+                    f"partition {self.partition_id!r} has no cluster {key!r}"
+                )
+            start, count = self.header[key]
+            if runs and runs[-1][0] + runs[-1][1] == start:
+                runs[-1][1] += count
+            else:
+                runs.append([start, count])
+        return [(s, c) for s, c in runs]
+
+    # -- access (PartitionFile interface) ---------------------------------------
+
+    def read_cluster(self, key: str) -> tuple[np.ndarray, np.ndarray]:
+        """Records of one trie-node cluster — a mapped view, never a copy."""
+        if key not in self.header:
+            raise StorageError(
+                f"partition {self.partition_id!r} has no cluster {key!r}"
+            )
+        return self._map_run(*self.header[key])
+
+    def read_clusters(
+        self, keys: Iterable[str]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Concatenated records of several clusters.
+
+        Adjacent clusters (the common case: a trie subtree's leaves sit
+        next to each other in sorted key order) coalesce into single mapped
+        runs; a lone run is returned as a pure view with no copy at all.
+        """
+        runs = self._runs(keys)
+        if not runs:
+            raise StorageError("read_clusters requires at least one key")
+        parts = [self._map_run(start, count) for start, count in runs]
+        if len(parts) == 1:
+            return parts[0]
+        return (
+            np.concatenate([p[0] for p in parts]),
+            np.vstack([p[1] for p in parts]),
+        )
+
+    def read_all(self) -> tuple[np.ndarray, np.ndarray]:
+        """Every record in the partition, as two whole-payload views."""
+        return self._map_run(0, self.record_count)
+
+    @property
+    def ids(self) -> np.ndarray:
+        return self.read_all()[0]
+
+    @property
+    def values(self) -> np.ndarray:
+        return self.read_all()[1]
+
+    # -- migration --------------------------------------------------------------
+
+    def to_partition_file(self) -> PartitionFile:
+        """Materialise a fully-deserialised v1 :class:`PartitionFile`."""
+        ids, values = self.read_all()
+        return PartitionFile(
+            partition_id=self.partition_id,
+            ids=ids.copy(),
+            values=values.copy(),
+            header=dict(self.header),
+        )

@@ -34,7 +34,27 @@ from repro.storage.serialization import (
     write_blob,
 )
 
-__all__ = ["PartitionFile"]
+__all__ = ["PartitionFile", "logical_partition_nbytes"]
+
+
+def logical_partition_nbytes(
+    record_count: int,
+    series_length: int,
+    header: Mapping[str, tuple[int, int]],
+) -> int:
+    """The *logical* stored size of a partition, in bytes.
+
+    Records (with per-record overhead) plus the serialised JSON header —
+    the quantity the DFS counters charge per read and the cost model bills
+    for I/O.  This is the single definition of that accounting: every
+    physical format (v1 blobs, v2 columnar) and every registration path
+    (write-time, attach-time) must report sizes through it so the
+    Fig. 11(b) access-volume metrics stay format-independent.
+    """
+    records = record_count * series_nbytes(series_length)
+    return records + len(
+        json_to_bytes({k: list(v) for k, v in header.items()})
+    )
 
 
 @dataclass
@@ -109,11 +129,9 @@ class PartitionFile:
         """
         cached = self.__dict__.get("_nbytes")
         if cached is None:
-            records = self.record_count * series_nbytes(self.series_length)
-            header = len(
-                json_to_bytes({k: list(v) for k, v in self.header.items()})
+            cached = self.__dict__["_nbytes"] = logical_partition_nbytes(
+                self.record_count, self.series_length, self.header
             )
-            cached = self.__dict__["_nbytes"] = records + header
         return cached
 
     def cluster_keys(self) -> list[str]:
@@ -174,8 +192,9 @@ class PartitionFile:
         if "record_count" not in meta or "series_length" not in meta:
             return None
         records = int(meta["record_count"])
-        nbytes = records * series_nbytes(int(meta["series_length"])) + len(
-            json_to_bytes(meta["header"])
+        nbytes = logical_partition_nbytes(
+            records, int(meta["series_length"]),
+            {k: tuple(v) for k, v in meta["header"].items()},
         )
         return nbytes, records
 

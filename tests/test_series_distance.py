@@ -94,6 +94,33 @@ class TestKnnBruteforce:
         ids, _ = knn_bruteforce(np.zeros(4), data, np.array([9, 3, 7, 1, 5]), 3)
         assert list(ids) == [1, 3, 5]
 
+    def test_small_set_fast_path_matches_general(self, rng):
+        """Candidate sets at/below the threshold take the direct-dot path;
+        it must pick the same neighbours as the einsum batch path."""
+        from repro.series.distance import SMALL_SCAN_THRESHOLD
+
+        for n in (1, 2, SMALL_SCAN_THRESHOLD, SMALL_SCAN_THRESHOLD + 1, 200):
+            data = rng.normal(size=(n, 12))
+            q = rng.normal(size=12)
+            k = min(5, n)
+            ids, dists = knn_bruteforce(q, data, np.arange(n), k)
+            d2 = squared_euclidean(q, data)[0]
+            expect = np.lexsort((np.arange(n), d2))[:k]
+            np.testing.assert_array_equal(ids, expect)
+            np.testing.assert_allclose(dists, np.sqrt(d2[expect]))
+
+    def test_small_set_tie_break_still_by_id(self):
+        # Integer-valued data: both arithmetic paths are exact, so the
+        # deterministic (distance, id) ordering is observable.
+        data = np.array([[0.0, 3.0], [3.0, 0.0], [0.0, 0.0], [3.0, 0.0]])
+        ids, dists = knn_bruteforce(np.zeros(2), data, np.array([9, 2, 7, 1]), 3)
+        assert list(ids) == [7, 1, 2]
+        np.testing.assert_allclose(dists, [0.0, 3.0, 3.0])
+
+    def test_small_set_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            knn_bruteforce(np.zeros(4), np.zeros((3, 5)), np.arange(3), 2)
+
     def test_custom_ids_returned(self, rng):
         data = rng.normal(size=(10, 6))
         ids = np.arange(100, 110)

@@ -1,0 +1,465 @@
+"""Tests for the zero-copy storage engine: format v2, backends, engine.
+
+Covers the v1<->v2 format round-trip, legacy-payload migration (v1 headers
+without size metadata), truncated/corrupt-header error paths, and the
+zero-copy properties the benchmark relies on.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+
+import numpy as np
+import pytest
+
+from repro.exceptions import PartitionNotFoundError, StorageError
+from repro.storage import PartitionFile, SimulatedDFS
+from repro.storage.engine import (
+    FORMAT_V2_MAGIC,
+    LocalDiskBackend,
+    MemoryBackend,
+    PartitionV2View,
+    StorageBackend,
+    StorageEngine,
+    decode_v2_header,
+    encode_partition_v2,
+    is_v2_payload,
+)
+from repro.storage.engine.format import HEADER_SIZE, PAYLOAD_ALIGNMENT
+from repro.storage.serialization import (
+    array_to_bytes,
+    json_to_bytes,
+    write_blob,
+)
+
+
+def make_partition(pid="p0", n_clusters=3, per_cluster=5, length=8, seed=0):
+    rng = np.random.default_rng(seed)
+    clusters = {}
+    next_id = 0
+    for c in range(n_clusters):
+        ids = np.arange(next_id, next_id + per_cluster)
+        next_id += per_cluster
+        clusters[f"g0/{c}"] = (ids, rng.normal(size=(per_cluster, length)))
+    return PartitionFile.from_clusters(pid, clusters)
+
+
+def memory_view(part: PartitionFile) -> tuple[PartitionV2View, bytes]:
+    payload = encode_partition_v2(part)
+    backend = MemoryBackend()
+    backend.write("x", payload)
+    view = PartitionV2View(
+        lambda off, length: backend.read_range("x", off, length),
+        physical_size=len(payload),
+    )
+    return view, payload
+
+
+def legacy_v1_payload(part: PartitionFile) -> bytes:
+    """A v1 payload as written *before* size metadata existed."""
+    buf = io.BytesIO()
+    write_blob(buf, json_to_bytes(
+        {"partition_id": part.partition_id,
+         "header": {k: list(v) for k, v in part.header.items()}}
+    ))
+    write_blob(buf, array_to_bytes(part.ids))
+    write_blob(buf, array_to_bytes(part.values))
+    return buf.getvalue()
+
+
+class TestFormatV2:
+    def test_roundtrip_preserves_everything(self):
+        part = make_partition(seed=3)
+        view, _ = memory_view(part)
+        assert view.partition_id == part.partition_id
+        assert view.header == part.header
+        assert view.record_count == part.record_count
+        assert view.series_length == part.series_length
+        np.testing.assert_array_equal(view.ids, part.ids)
+        np.testing.assert_array_equal(view.values, part.values)
+
+    def test_logical_nbytes_matches_v1(self):
+        part = make_partition(n_clusters=4, per_cluster=7, seed=1)
+        view, _ = memory_view(part)
+        assert view.nbytes == part.nbytes
+
+    def test_payloads_are_64_byte_aligned(self):
+        part = make_partition()
+        _, payload = memory_view(part)
+        header = decode_v2_header(payload)
+        assert header.ids_offset % PAYLOAD_ALIGNMENT == 0
+        assert header.values_offset % PAYLOAD_ALIGNMENT == 0
+
+    def test_cluster_reads_match_v1(self):
+        part = make_partition(n_clusters=4, per_cluster=3, seed=5)
+        view, _ = memory_view(part)
+        for key in part.cluster_keys():
+            vid, vval = view.read_cluster(key)
+            pid_, pval = part.read_cluster(key)
+            np.testing.assert_array_equal(vid, pid_)
+            np.testing.assert_array_equal(vval, pval)
+        keys = part.cluster_keys()[::2]
+        vid, vval = view.read_clusters(keys)
+        pid_, pval = part.read_clusters(keys)
+        np.testing.assert_array_equal(vid, pid_)
+        np.testing.assert_array_equal(vval, pval)
+
+    def test_reads_are_zero_copy_views(self):
+        part = make_partition()
+        payload = encode_partition_v2(part)
+        backend = MemoryBackend()
+        backend.write("x", payload)
+        view = PartitionV2View(
+            lambda off, length: backend.read_range("x", off, length)
+        )
+        ids, values = view.read_all()
+        raw = np.frombuffer(backend._blobs["x"], dtype=np.uint8)
+        assert np.shares_memory(ids, raw)
+        assert np.shares_memory(values, raw)
+        assert not values.flags.writeable
+
+    def test_adjacent_clusters_coalesce_into_one_view(self):
+        part = make_partition(n_clusters=3, per_cluster=4)
+        view, _ = memory_view(part)
+        ids, values = view.read_clusters(view.cluster_keys())
+        # All three clusters are contiguous -> a single mapped run, so the
+        # result is still a view into the backing buffer (no concatenate).
+        assert not values.flags.writeable
+        np.testing.assert_array_equal(ids, part.ids)
+
+    def test_materialised_bytes_tracks_mapped_ranges(self):
+        part = make_partition(n_clusters=4, per_cluster=8, length=16)
+        view, payload = memory_view(part)
+        base = view.materialised_bytes
+        assert base < len(payload) / 4  # header + directory only
+        view.read_cluster(part.cluster_keys()[0])
+        per_cluster_bytes = 8 * (8 + 16 * 8)
+        assert view.materialised_bytes == base + per_cluster_bytes
+
+    def test_missing_cluster_raises(self):
+        view, _ = memory_view(make_partition())
+        with pytest.raises(StorageError):
+            view.read_cluster("nope")
+        with pytest.raises(StorageError):
+            view.read_clusters(["nope"])
+
+    def test_empty_read_clusters_raises(self):
+        view, _ = memory_view(make_partition())
+        with pytest.raises(StorageError):
+            view.read_clusters([])
+
+    def test_to_partition_file_roundtrip(self):
+        part = make_partition(seed=7)
+        view, _ = memory_view(part)
+        back = view.to_partition_file()
+        assert back.header == part.header
+        np.testing.assert_array_equal(back.ids, part.ids)
+        np.testing.assert_array_equal(back.values, part.values)
+        back.values[0, 0] = 42.0  # materialised copy is writable
+        restored = PartitionFile.from_bytes(back.to_bytes())
+        assert restored.partition_id == part.partition_id
+
+    def test_is_v2_payload_discriminates_formats(self):
+        part = make_partition()
+        assert is_v2_payload(encode_partition_v2(part))
+        assert not is_v2_payload(part.to_bytes())
+        assert not is_v2_payload(b"")
+
+
+class TestFormatV2Corruption:
+    def _reader(self, payload: bytes):
+        backend = MemoryBackend()
+        backend.write("x", payload)
+        return lambda off, length: backend.read_range("x", off, length)
+
+    def test_truncated_header(self):
+        payload = encode_partition_v2(make_partition())
+        with pytest.raises(StorageError, match="truncated"):
+            decode_v2_header(payload[:HEADER_SIZE - 1])
+
+    def test_bad_magic(self):
+        payload = bytearray(encode_partition_v2(make_partition()))
+        payload[:8] = b"NOTMAGIC"
+        with pytest.raises(StorageError, match="magic"):
+            decode_v2_header(bytes(payload))
+
+    def test_unsupported_version(self):
+        payload = bytearray(encode_partition_v2(make_partition()))
+        struct.pack_into("<I", payload, 8, 99)
+        with pytest.raises(StorageError, match="version"):
+            decode_v2_header(bytes(payload))
+
+    def test_physical_size_mismatch(self):
+        payload = encode_partition_v2(make_partition())
+        with pytest.raises(StorageError, match="truncated"):
+            decode_v2_header(payload, physical_size=len(payload) - 10)
+
+    def test_inconsistent_offsets(self):
+        payload = bytearray(encode_partition_v2(make_partition()))
+        # values_offset field sits after magic(8)+ver(4)+flags(4)+5 Q fields.
+        struct.pack_into("<Q", payload, 16 + 5 * 8, 24)  # unaligned + inside dir
+        with pytest.raises(StorageError, match="inconsistent"):
+            decode_v2_header(bytes(payload))
+
+    def test_directory_range_outside_payload(self):
+        part = make_partition(n_clusters=2, per_cluster=4)
+        payload = bytearray(encode_partition_v2(part))
+        header = decode_v2_header(bytes(payload))
+        # Corrupt the first directory count to exceed n_records.
+        struct.pack_into("<q", payload, header.dir_offset + 8 * 2, 10_000)
+        with pytest.raises(StorageError, match="directory"):
+            PartitionV2View(self._reader(bytes(payload)))
+
+    def test_key_count_mismatch(self):
+        part = make_partition(n_clusters=2)
+        payload = bytearray(encode_partition_v2(part))
+        struct.pack_into("<Q", payload, 16, 3)  # claim 3 clusters, meta has 2
+        # Directory offsets stay consistent only if the sizes still line up,
+        # so widen via a fresh consistency failure or a key-count error.
+        with pytest.raises(StorageError):
+            PartitionV2View(self._reader(bytes(payload)))
+
+    def test_truncated_payload_detected_via_backend_bounds(self):
+        payload = encode_partition_v2(make_partition())
+        backend = MemoryBackend()
+        backend.write("x", payload[:-16])
+        with pytest.raises(StorageError):
+            PartitionV2View(
+                lambda off, length: backend.read_range("x", off, length),
+                physical_size=len(payload) - 16,
+            )
+
+
+class TestBackends:
+    @pytest.mark.parametrize("kind", ["memory", "disk"])
+    def test_write_read_size_delete(self, kind, tmp_path):
+        backend = MemoryBackend() if kind == "memory" else LocalDiskBackend(tmp_path)
+        assert isinstance(backend, StorageBackend)
+        backend.write("a.part", b"0123456789")
+        assert backend.exists("a.part")
+        assert backend.size("a.part") == 10
+        assert bytes(backend.read_range("a.part", 2, 4)) == b"2345"
+        assert backend.list_names() == ["a.part"]
+        backend.delete("a.part")
+        assert not backend.exists("a.part")
+        with pytest.raises(PartitionNotFoundError):
+            backend.size("a.part")
+
+    @pytest.mark.parametrize("kind", ["memory", "disk"])
+    def test_out_of_range_read_raises(self, kind, tmp_path):
+        backend = MemoryBackend() if kind == "memory" else LocalDiskBackend(tmp_path)
+        backend.write("a.part", b"0123")
+        with pytest.raises(StorageError):
+            backend.read_range("a.part", 0, 5)
+        with pytest.raises(StorageError):
+            backend.read_range("a.part", -1, 2)
+        with pytest.raises(PartitionNotFoundError):
+            backend.read_range("ghost", 0, 1)
+
+    def test_disk_read_is_mmap_backed_zero_copy(self, tmp_path):
+        backend = LocalDiskBackend(tmp_path)
+        backend.write("a.part", b"x" * 256)
+        first = backend.read_range("a.part", 0, 256)
+        second = backend.read_range("a.part", 10, 20)
+        assert np.shares_memory(
+            np.frombuffer(first, dtype=np.uint8),
+            np.frombuffer(second, dtype=np.uint8),
+        )
+        del first, second
+        backend.close()
+
+    def test_disk_rejects_path_traversal_names(self, tmp_path):
+        backend = LocalDiskBackend(tmp_path)
+        for name in ("../evil", "a/b", ".hidden", ""):
+            with pytest.raises(StorageError):
+                backend.write(name, b"x")
+
+    def test_disk_handle_cache_is_bounded(self, tmp_path):
+        backend = LocalDiskBackend(tmp_path, max_open_handles=4)
+        for i in range(10):
+            backend.write(f"p{i}.part", bytes(64))
+        for i in range(10):
+            backend.read_range(f"p{i}.part", 0, 8)
+        assert len(backend._maps) <= 4
+        # Evicted blobs remain readable (handles reopen on demand).
+        assert backend.read_range("p0.part", 0, 8) is not None
+        backend.close()
+
+    def test_disk_handle_cap_validated(self, tmp_path):
+        with pytest.raises(StorageError):
+            LocalDiskBackend(tmp_path, max_open_handles=0)
+
+    def test_disk_overwrite_keeps_live_views_valid(self, tmp_path):
+        backend = LocalDiskBackend(tmp_path)
+        backend.write("a.part", b"old" * 100)
+        live = np.frombuffer(backend.read_range("a.part", 0, 300),
+                             dtype=np.uint8)
+        backend.write("a.part", b"new" * 100)
+        # The atomic-rename overwrite leaves the old inode mapped: the
+        # live view still serves the old bytes instead of faulting.
+        assert live[:3].tobytes() == b"old"
+        assert bytes(backend.read_range("a.part", 0, 3)) == b"new"
+        del live
+        backend.close()
+
+    def test_disk_overwrite_invalidates_handle(self, tmp_path):
+        backend = LocalDiskBackend(tmp_path)
+        backend.write("a.part", b"old-bytes")
+        assert bytes(backend.read_range("a.part", 0, 3)) == b"old"
+        backend.write("a.part", b"new-bytes")
+        assert bytes(backend.read_range("a.part", 0, 3)) == b"new"
+        backend.close()
+
+
+class TestStorageEngine:
+    def test_rejects_unknown_format(self):
+        with pytest.raises(StorageError):
+            StorageEngine(MemoryBackend(), partition_format="v3")
+
+    @pytest.mark.parametrize("fmt", ["v1", "v2"])
+    def test_write_open_roundtrip(self, fmt, tmp_path):
+        engine = StorageEngine(LocalDiskBackend(tmp_path), partition_format=fmt)
+        part = make_partition("alpha", seed=2)
+        engine.write_partition(part)
+        handle = engine.open_partition("alpha")
+        np.testing.assert_array_equal(handle.ids, part.ids)
+        np.testing.assert_array_equal(handle.values, part.values)
+        assert handle.nbytes == part.nbytes
+        assert engine.list_partitions() == ["alpha"]
+        assert engine.has_partition("alpha")
+        engine.close()
+
+    def test_v2_engine_reads_v1_payloads_and_vice_versa(self, tmp_path):
+        part = make_partition("mixed", seed=6)
+        v1 = StorageEngine(LocalDiskBackend(tmp_path / "a"), "v1")
+        v1.write_partition(part)
+        v2_reader = StorageEngine(LocalDiskBackend(tmp_path / "a"), "v2")
+        got = v2_reader.open_partition("mixed")
+        assert isinstance(got, PartitionFile)
+        np.testing.assert_array_equal(got.values, part.values)
+
+        v2 = StorageEngine(LocalDiskBackend(tmp_path / "b"), "v2")
+        v2.write_partition(part)
+        v1_reader = StorageEngine(LocalDiskBackend(tmp_path / "b"), "v1")
+        got = v1_reader.open_partition("mixed")
+        assert isinstance(got, PartitionV2View)
+        np.testing.assert_array_equal(got.values, part.values)
+
+    def test_read_cluster_ranges(self):
+        engine = StorageEngine(MemoryBackend(), "v2")
+        part = make_partition("p", n_clusters=4, per_cluster=3, seed=8)
+        engine.write_partition(part)
+        keys = part.cluster_keys()[1:3]
+        ids, values = engine.read_cluster_ranges("p", keys)
+        eids, evals = part.read_clusters(keys)
+        np.testing.assert_array_equal(ids, eids)
+        np.testing.assert_array_equal(values, evals)
+
+    @pytest.mark.parametrize("fmt", ["v1", "v2"])
+    def test_partition_meta_without_payload(self, fmt):
+        engine = StorageEngine(MemoryBackend(), partition_format=fmt)
+        part = make_partition("p", n_clusters=2, per_cluster=6, length=12)
+        engine.write_partition(part)
+        meta = engine.partition_meta("p")
+        assert meta.logical_nbytes == part.nbytes
+        assert meta.record_count == 12
+        assert meta.series_length == 12
+
+    def test_partition_meta_legacy_payload_full_read_fallback(self):
+        part = make_partition("old", seed=4)
+        backend = MemoryBackend()
+        backend.write("old.part", legacy_v1_payload(part))
+        engine = StorageEngine(backend, "v2")
+        meta = engine.partition_meta("old")
+        assert meta.logical_nbytes == part.nbytes
+        assert meta.record_count == part.record_count
+        assert meta.series_length == part.series_length
+        # The legacy payload is also fully openable through the shim.
+        got = engine.open_partition("old")
+        np.testing.assert_array_equal(got.values, part.values)
+
+    def test_stored_size_from_meta_none_for_legacy(self):
+        assert PartitionFile.stored_size_from_meta(
+            {"partition_id": "x", "header": {}}
+        ) is None
+
+    def test_missing_partition(self):
+        engine = StorageEngine(MemoryBackend())
+        for fn in (engine.open_partition, engine.partition_meta,
+                   engine.physical_nbytes, engine.delete_partition):
+            with pytest.raises(PartitionNotFoundError):
+                fn("ghost")
+
+    def test_delete_partition(self):
+        engine = StorageEngine(MemoryBackend())
+        engine.write_partition(make_partition("p"))
+        engine.delete_partition("p")
+        assert not engine.has_partition("p")
+
+    def test_v2_physical_no_larger_than_v1(self):
+        """Alignment padding stays within the v1 framing overhead it drops."""
+        part = make_partition(n_clusters=8, per_cluster=16, length=64)
+        assert len(encode_partition_v2(part)) <= len(part.to_bytes())
+
+
+class TestDfsEngineFacade:
+    def test_default_format_is_v2(self):
+        assert SimulatedDFS().partition_format == "v2"
+
+    def test_rejects_unknown_format(self):
+        with pytest.raises(StorageError):
+            SimulatedDFS(partition_format="v7")
+
+    @pytest.mark.parametrize("fmt", ["v1", "v2"])
+    def test_series_length_metadata(self, fmt):
+        dfs = SimulatedDFS(partition_format=fmt)
+        dfs.write_partition(make_partition("a", length=24))
+        assert dfs.series_length("a") == 24
+        with pytest.raises(PartitionNotFoundError):
+            dfs.series_length("ghost")
+
+    def test_attach_mixed_format_directory(self, tmp_path):
+        old = SimulatedDFS(backing_dir=tmp_path, partition_format="v1")
+        old.write_partition(make_partition("legacy", seed=1))
+        new = SimulatedDFS(backing_dir=tmp_path, partition_format="v2")
+        new.write_partition(make_partition("modern", seed=2))
+        fresh = SimulatedDFS(backing_dir=tmp_path)
+        assert fresh.attach() == 2
+        for pid, seed in (("legacy", 1), ("modern", 2)):
+            expected = make_partition(pid, seed=seed)
+            assert fresh.partition_nbytes(pid) == expected.nbytes
+            assert fresh.record_count(pid) == expected.record_count
+            assert fresh.series_length(pid) == expected.series_length
+            got = fresh.read_partition(pid)
+            np.testing.assert_array_equal(got.values, expected.values)
+
+    def test_attach_legacy_payload(self, tmp_path):
+        part = make_partition("old", seed=9)
+        (tmp_path / "old.part").write_bytes(legacy_v1_payload(part))
+        dfs = SimulatedDFS(backing_dir=tmp_path)
+        assert dfs.attach() == 1
+        assert dfs.partition_nbytes("old") == part.nbytes
+        assert dfs.record_count("old") == part.record_count
+
+    def test_cluster_range_read_counts_one_logical_touch(self):
+        dfs = SimulatedDFS()
+        part = make_partition("a", n_clusters=3, per_cluster=4)
+        dfs.write_partition(part)
+        key = part.cluster_keys()[1]
+        ids, values = dfs.read_partition("a").read_cluster(key)
+        eids, evals = part.read_cluster(key)
+        np.testing.assert_array_equal(ids, eids)
+        np.testing.assert_array_equal(values, evals)
+        assert dfs.counters.partitions_read == 1
+        assert dfs.counters.bytes_read == part.nbytes
+
+    @pytest.mark.parametrize("fmt", ["v1", "v2"])
+    def test_logical_counters_format_independent(self, fmt, tmp_path):
+        dfs = SimulatedDFS(backing_dir=tmp_path / fmt, partition_format=fmt)
+        part = make_partition("a", seed=3)
+        dfs.write_partition(part)
+        dfs.read_partition("a")
+        assert dfs.counters.bytes_written == part.nbytes
+        assert dfs.counters.bytes_read == part.nbytes
+        assert dfs.counters.partitions_read == 1
