@@ -9,6 +9,8 @@ occupancy, and query cost (partitions touched per query).
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 import pytest
 
@@ -27,6 +29,25 @@ PACKERS = {
     "FirstFit": first_fit,
     "OnePerLeaf": one_per_bin,
 }
+
+
+def pack_time_ms(packer, n_items: int = 4000, seed: int = 0,
+                 rounds: int = 3) -> float:
+    """Wall time packing a large synthetic leaf set (best of ``rounds``).
+
+    Sized like a big group's trie at paper scale: thousands of leaves,
+    mostly capacity-sized (the regime where FFD's max-residual early exit
+    skips the O(bins) scan for items no bin can hold).
+    """
+    rng = np.random.default_rng(seed)
+    sizes = rng.uniform(CAPACITY * 0.3, CAPACITY * 1.1, size=n_items)
+    items = [((i,), float(s)) for i, s in enumerate(sizes)]
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        packer(items, float(CAPACITY))
+        best = min(best, time.perf_counter() - t0)
+    return best * 1e3
 
 
 def _build_with_packer(dataset, size_gb, packer):
@@ -65,6 +86,7 @@ def _run() -> list[dict]:
             "mean_occupancy": round(float(np.mean(sizes)) / CAPACITY, 2),
             "recall": round(ev.recall, 3),
             "parts_per_query": round(ev.partitions, 2),
+            "pack_ms_4k_leaves": round(pack_time_ms(packer), 2),
         })
     return rows
 
@@ -92,6 +114,15 @@ def test_unpacked_leaves_are_tiny(packing_rows):
 def test_packing_does_not_change_recall_much(packing_rows):
     recalls = [r["recall"] for r in packing_rows]
     assert max(recalls) - min(recalls) < 0.1
+
+
+def test_ffd_early_exit_keeps_packing_fast(packing_rows):
+    """FFD (sorted + early exit) must not cost more than a small multiple
+    of the unsorted FirstFit scan on a large leaf set."""
+    by = {r["packing"]: r for r in packing_rows}
+    assert by["FFD"]["pack_ms_4k_leaves"] < 5 * max(
+        0.1, by["FirstFit"]["pack_ms_4k_leaves"]
+    )
 
 
 def test_packing_benchmark(benchmark, packing_rows):

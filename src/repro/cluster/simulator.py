@@ -85,24 +85,45 @@ class ClusterSimulator:
             stage = StageReport(name, 0, 0.0, TaskCost())
             self.report.stages.append(stage)
             return stage
-        durations = sorted(
-            (
+
+        def duration(c: TaskCost) -> float:
+            return (
                 model.compute_time(c.cpu_ops)
                 + (model.disk_seek_s if c.read_bytes else 0.0)
                 + model.task_overhead_s
-                for c in costs
-            ),
-            reverse=True,
-        )
-        heap = [0.0] * min(model.total_cores, len(durations))
-        heapq.heapify(heap)
-        for dur in durations:
-            earliest = heapq.heappop(heap)
-            heapq.heappush(heap, earliest + dur)
-        cpu_makespan = max(heap)
-        total = TaskCost()
-        for c in costs:
-            total = total + c
+            )
+
+        n = len(costs)
+        first = costs[0]
+        # Fast path for single-task and uniform-cost stages — the two
+        # shapes the hot callers produce (per-query index probes and the
+        # granule-split stages of run_scaled_stage).  With equal durations
+        # LPT is round-robin: the busiest core runs ceil(n / cores) tasks,
+        # accumulated by the same repeated float addition the heap would
+        # perform, so the makespan is bit-identical to the general path.
+        if n == 1 or all(c == first for c in costs):
+            dur = duration(first)
+            rounds = -(-n // min(model.total_cores, n))
+            cpu_makespan = 0.0
+            for _ in range(rounds):
+                cpu_makespan += dur
+            total = TaskCost(
+                first.read_bytes * n,
+                first.write_bytes * n,
+                first.shuffle_bytes * n,
+                first.cpu_ops * n,
+            )
+        else:
+            durations = sorted((duration(c) for c in costs), reverse=True)
+            heap = [0.0] * min(model.total_cores, len(durations))
+            heapq.heapify(heap)
+            for dur in durations:
+                earliest = heapq.heappop(heap)
+                heapq.heappush(heap, earliest + dur)
+            cpu_makespan = max(heap)
+            total = TaskCost()
+            for c in costs:
+                total = total + c
         io_seconds = max(
             total.read_bytes / model.cluster_read_bytes_s,
             total.write_bytes

@@ -20,6 +20,7 @@ from repro.core.skeleton import (
     partition_name,
 )
 from repro.core.trie import DEFAULT_CLUSTER_SUFFIX, TrieNode, build_group_trie
+from repro.core.trie_flat import FlatTrie, FlatTrieRouter
 
 __all__ = [
     "ClimberConfig",
@@ -34,6 +35,8 @@ __all__ = [
     "FALLBACK_CENTROID",
     "TrieNode",
     "build_group_trie",
+    "FlatTrie",
+    "FlatTrieRouter",
     "DEFAULT_CLUSTER_SUFFIX",
     "first_fit_decreasing",
     "first_fit",

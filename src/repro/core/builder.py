@@ -19,8 +19,7 @@ can be read back from the simulation report.
 
 from __future__ import annotations
 
-from collections import Counter
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -63,6 +62,11 @@ class BuildArtifacts:
     sim_report: SimReport
     wall_seconds: float
     n_records: int
+    wall_phase_seconds: dict[str, float] = field(default_factory=dict)
+    """Real (not simulated) wall time of the Step-4 sub-phases:
+    ``convert`` (PAA + signatures + group assignment) and ``redistribute``
+    (trie routing, grouping and partition writes) — the before/after axis
+    of ``benchmarks/bench_index_build.py``."""
 
     @property
     def phase_seconds(self) -> dict[str, float]:
@@ -79,10 +83,26 @@ def build_index_artifacts(
     config: ClimberConfig,
     dfs: SimulatedDFS | None = None,
     model: CostModel | None = None,
+    redistribution: str = "flat",
 ) -> BuildArtifacts:
-    """Run the full four-step construction workflow."""
+    """Run the full four-step construction workflow.
+
+    Parameters
+    ----------
+    redistribution:
+        Step-4 implementation: ``"flat"`` (default) routes every record
+        through the CSR-compiled :class:`~repro.core.trie_flat.FlatTrieRouter`
+        in bulk and writes partitions directly from sorted arrays;
+        ``"legacy"`` is the original per-record descend loop, kept as the
+        parity reference and benchmark baseline.  Both produce
+        byte-identical partitions and identical simulated stage costs.
+    """
     import time
 
+    if redistribution not in ("flat", "legacy"):
+        raise ConfigurationError(
+            f"unknown redistribution mode {redistribution!r}"
+        )
     t0 = time.perf_counter()
     if dataset.length < config.word_length:
         raise ConfigurationError(
@@ -127,14 +147,27 @@ def build_index_artifacts(
     sample_ranked = permutation_prefixes(sample_paa, pivots, m)
 
     # ------------------------------------------------------------------ Step 2
-    ranked_counter: Counter[tuple[int, ...]] = Counter(
-        tuple(int(p) for p in row) for row in sample_ranked
+    # Signature aggregation is pure array work: one lexicographic
+    # np.unique over the sample's ranked signatures (replacing a Python
+    # Counter over tuples that walked every sampled row), and a second over
+    # their sorted rows for the rank-insensitive statistics.  Downstream is
+    # order-insensitive: compute_centroids re-sorts by (-frequency,
+    # signature) internally, and the distinct ranked rows come out in the
+    # same lexicographic order the old ``sorted(counter)`` produced.
+    distinct_ranked, distinct_freqs = np.unique(
+        np.asarray(sample_ranked, dtype=np.int64), axis=0, return_counts=True
     )
-    unranked_counter: Counter[tuple[int, ...]] = Counter()
-    for sig, freq in ranked_counter.items():
-        unranked_counter[tuple(sorted(sig))] += freq
-    unranked_sigs = list(unranked_counter)
-    unranked_freqs = [unranked_counter[s] for s in unranked_sigs]
+    unranked_rows, unranked_inverse = np.unique(
+        np.sort(distinct_ranked, axis=1), axis=0, return_inverse=True
+    )
+    unranked_freq_arr = np.zeros(unranked_rows.shape[0], dtype=np.int64)
+    np.add.at(
+        unranked_freq_arr,
+        np.asarray(unranked_inverse).reshape(-1),
+        distinct_freqs,
+    )
+    unranked_sigs = [tuple(int(p) for p in row) for row in unranked_rows]
+    unranked_freqs = unranked_freq_arr.tolist()
     centroids = compute_centroids(
         unranked_sigs,
         unranked_freqs,
@@ -154,10 +187,6 @@ def build_index_artifacts(
     # ------------------------------------------------------------------ Step 3
     weights = decay_weights(m, config.decay, config.decay_rate)
     assigner = GroupAssigner(centroids, r, m, weights=weights, rng=rng)
-    distinct_ranked = np.array(sorted(ranked_counter), dtype=np.int64)
-    distinct_freqs = np.array(
-        [ranked_counter[tuple(row)] for row in distinct_ranked.tolist()]
-    )
     group_of_sig = assigner.assign(distinct_ranked).group_indices
 
     n_groups = len(centroids) + 1
@@ -226,40 +255,30 @@ def build_index_artifacts(
         min_tasks=len(chunks),
     )
 
-    # Real routing of every record.
-    clusters: dict[int, dict[str, list[int]]] = {}
-    row_offset = 0
+    # Full-data signature conversion + group assignment, one vectorised
+    # pass per input chunk (identical work and RNG stream either way).
+    t_convert = time.perf_counter()
+    ranked_parts: list[np.ndarray] = []
+    gid_parts: list[np.ndarray] = []
     for chunk in chunks:
         paa = paa_transform(chunk.values, w)
         ranked = permutation_prefixes(paa, pivots, m)
-        gids = assigner.assign(ranked).group_indices
-        for local in range(chunk.count):
-            gid = int(gids[local])
-            entry = groups[gid]
-            node = entry.trie.descend(ranked[local])
-            if node.is_leaf:
-                pid = next(iter(node.partition_ids))
-                key = cluster_key(gid, node.path)
-            else:
-                pid = entry.default_partition
-                key = cluster_key(gid, None)
-            clusters.setdefault(pid, {}).setdefault(key, []).append(
-                row_offset + local
-            )
-        row_offset += chunk.count
+        ranked_parts.append(ranked)
+        gid_parts.append(assigner.assign(ranked).group_indices)
+    wall_convert = time.perf_counter() - t_convert
 
-    written_bytes = 0
-    n_written = 0
-    for pid in sorted(clusters):
-        mapping = {
-            key: (dataset.ids[rows], dataset.values[rows])
-            for key, rows in clusters[pid].items()
-            for rows in [np.asarray(rows, dtype=np.int64)]
-        }
-        part = PartitionFile.from_clusters(partition_name(pid), mapping)
-        dfs.write_partition(part)
-        written_bytes += part.nbytes
-        n_written += 1
+    # Re-distribution of every record into its physical partition.
+    t_redist = time.perf_counter()
+    if redistribution == "flat":
+        written_bytes, n_written = _redistribute_flat(
+            dataset, skeleton, ranked_parts, gid_parts, dfs
+        )
+    else:
+        written_bytes, n_written = _redistribute_legacy(
+            dataset, groups, ranked_parts, gid_parts, dfs
+        )
+    wall_redistribute = time.perf_counter() - t_redist
+
     sim.run_scaled_stage(
         "build/redistribute/shuffle",
         TaskCost(shuffle_bytes=int(dataset.nbytes * scale)),
@@ -279,4 +298,87 @@ def build_index_artifacts(
         sim_report=sim.fresh_report(),
         wall_seconds=time.perf_counter() - t0,
         n_records=dataset.count,
+        wall_phase_seconds={
+            "convert": wall_convert,
+            "redistribute": wall_redistribute,
+        },
     )
+
+
+def _redistribute_flat(
+    dataset: SeriesDataset,
+    skeleton: IndexSkeleton,
+    ranked_parts: list[np.ndarray],
+    gid_parts: list[np.ndarray],
+    dfs: SimulatedDFS,
+) -> tuple[int, int]:
+    """Bulk Step-4 redistribution over the CSR-compiled tries.
+
+    One :meth:`FlatTrieRouter.route` resolves every record's cluster in
+    ``prefix_length`` ``searchsorted`` sweeps over the fused trie, one
+    stable argsort over the precomputed ``(partition, cluster key)`` ranks
+    groups the records into the exact layout
+    :meth:`PartitionFile.from_clusters` would build, and each partition is
+    gathered straight from the dataset arrays into its format-v2 payload
+    buffer — no per-record Python, no intermediate v1 partition objects,
+    no sorted copy of the dataset.
+    """
+    router = skeleton.flat_router()
+    ranked_all = (
+        ranked_parts[0] if len(ranked_parts) == 1
+        else np.concatenate(ranked_parts, axis=0)
+    )
+    gids_all = (
+        gid_parts[0] if len(gid_parts) == 1 else np.concatenate(gid_parts)
+    )
+    kid_of = router.route(ranked_all, gids_all)
+    order, parts = router.partition_layout(kid_of)
+    written_bytes = 0
+    for pid, start, end, header in parts:
+        written_bytes += dfs.write_partition_arrays(
+            partition_name(pid),
+            dataset.ids,
+            dataset.values,
+            header,
+            rows=order[start:end],
+        )
+    return written_bytes, len(parts)
+
+
+def _redistribute_legacy(
+    dataset: SeriesDataset,
+    groups: list[GroupEntry],
+    ranked_parts: list[np.ndarray],
+    gid_parts: list[np.ndarray],
+    dfs: SimulatedDFS,
+) -> tuple[int, int]:
+    """The seed per-record redistribution loop (parity reference/baseline)."""
+    clusters: dict[int, dict[str, list[int]]] = {}
+    row_offset = 0
+    for ranked, gids in zip(ranked_parts, gid_parts):
+        for local in range(ranked.shape[0]):
+            gid = int(gids[local])
+            entry = groups[gid]
+            node = entry.trie.descend(ranked[local])
+            if node.is_leaf:
+                pid = next(iter(node.partition_ids))
+                key = cluster_key(gid, node.path)
+            else:
+                pid = entry.default_partition
+                key = cluster_key(gid, None)
+            clusters.setdefault(pid, {}).setdefault(key, []).append(
+                row_offset + local
+            )
+        row_offset += ranked.shape[0]
+
+    written_bytes = 0
+    for pid in sorted(clusters):
+        mapping = {
+            key: (dataset.ids[rows], dataset.values[rows])
+            for key, rows in clusters[pid].items()
+            for rows in [np.asarray(rows, dtype=np.int64)]
+        }
+        part = PartitionFile.from_clusters(partition_name(pid), mapping)
+        dfs.write_partition(part)
+        written_bytes += part.nbytes
+    return written_bytes, len(clusters)

@@ -57,7 +57,6 @@ from repro.core.routing import select_primary as _select_primary
 from repro.core.skeleton import (
     GroupEntry,
     SkeletonWithPivots,
-    cluster_key,
     partition_name,
 )
 from repro.core.trie import TrieNode
@@ -69,7 +68,6 @@ from repro.series import (
     paa_transform,
     series_nbytes,
 )
-from repro.storage import PartitionFile
 
 __all__ = ["ClimberIndex", "QueryResult", "QueryStats", "GroupCandidate"]
 
@@ -192,33 +190,27 @@ class ClimberIndex:
         ranked = permutation_prefixes(paa, self._art.pivots, cfg.prefix_length)
         gids = self._art.assigner.assign(ranked).group_indices
 
-        clusters: dict[int, dict[str, list[int]]] = {}
-        for local in range(dataset.count):
-            gid = int(gids[local])
-            entry = self._art.skeleton.group(gid)
-            node = entry.trie.descend(ranked[local])
-            if node.is_leaf and node.partition_ids:
-                pid = next(iter(node.partition_ids))
-                key = cluster_key(gid, node.path)
-            else:
-                pid = entry.default_partition
-                key = cluster_key(gid, None)
-            clusters.setdefault(pid, {}).setdefault(key, []).append(local)
+        # Batch route through the frozen skeleton's CSR-compiled tries —
+        # the same bulk pipeline construction Step 4 uses: one descend
+        # sweep per group present in the batch, one stable lexsort into
+        # final cluster layout, partitions written straight from array
+        # slices.  Records whose walk stalls (or reaches an unpacked leaf)
+        # land in their group's default partition, as before.
+        router = self._art.skeleton.flat_router()
+        kid_of = router.route(ranked, gids)
+        order, parts = router.partition_layout(kid_of)
 
         written = []
         written_bytes = 0
-        for pid in sorted(clusters):
+        for pid, start, end, header in parts:
             base = partition_name(pid)
             seq = len(self._delta_names(base))
-            mapping = {
-                key: (dataset.ids[rows], dataset.values[rows])
-                for key, rows in clusters[pid].items()
-                for rows in [np.asarray(rows, dtype=np.int64)]
-            }
-            part = PartitionFile.from_clusters(f"{base}.d{seq}", mapping)
-            self.dfs.write_partition(part)
-            written.append(part.partition_id)
-            written_bytes += part.nbytes
+            delta_id = f"{base}.d{seq}"
+            written_bytes += self.dfs.write_partition_arrays(
+                delta_id, dataset.ids, dataset.values, header,
+                rows=order[start:end],
+            )
+            written.append(delta_id)
 
         sig_ops = ops_paa(dataset.length) + ops_signature(
             cfg.n_pivots, cfg.word_length, cfg.prefix_length
@@ -512,10 +504,15 @@ class ClimberIndex:
         records whose signatures could not complete a root-to-leaf walk
         stalled at some internal node — exactly like the query that
         selected this node did — so they are candidates too.
+
+        Served from the flat trie's pre-rendered key table: a subtree's
+        leaves are one slice of the pre-order leaf array, so no tree walk
+        or string formatting happens per query.
         """
-        keys = [cluster_key(entry.group_id, leaf.path) for leaf in node.leaves()]
+        ft = self._routing.flat.tries[entry.group_id]
+        keys = list(ft.subtree_keys(ft.id_of(node)))
         if not node.is_leaf or node.depth == 0:
-            keys.append(cluster_key(entry.group_id, None))
+            keys.append(ft.default_key)
         return keys
 
     def _partition_scan_cost(self, part) -> TaskCost:
@@ -673,10 +670,24 @@ class ClimberIndex:
         else:
             selected = [(primary.entry, primary.gn)]
 
-        # Partitions covering the selected nodes.
+        # Partitions covering the selected nodes: one batch
+        # covering_partitions call per involved group resolves every
+        # selected subtree's partition set from the flat leaf tables.
+        flat_tries = self._routing.flat.tries
+        by_group: dict[int, list[TrieNode]] = {}
+        for entry, node in selected:
+            by_group.setdefault(entry.group_id, []).append(node)
+        covering: dict[tuple[int, int], np.ndarray] = {}
+        for gid, group_nodes in by_group.items():
+            ft = flat_tries[gid]
+            nids = [ft.id_of(n) for n in group_nodes]
+            for node, pids in zip(group_nodes, ft.covering_partitions(nids)):
+                covering[(gid, id(node))] = pids
         to_load: dict[str, list[str]] = {}
         for entry, node in selected:
-            pids = set(node.partition_ids)
+            pids = set(
+                int(p) for p in covering[(entry.group_id, id(node))]
+            )
             if not node.is_leaf or node.depth == 0:
                 pids.add(entry.default_partition)
             keys = self._target_keys(entry, node)

@@ -44,17 +44,33 @@ def first_fit_decreasing(
     ordered = sorted(items, key=lambda kv: (-kv[1], str(kv[0])))
     bins: list[list[K]] = []
     residual: list[float] = []
+    # Upper bound on any bin's free space: when an item exceeds it, no bin
+    # can hold the item and the O(bins) first-fit scan is skipped outright.
+    # The bound is allowed to go stale upward (placements only shrink
+    # residuals), and every *failed* full scan tightens it to the true
+    # maximum it just observed — so with decreasing item sizes the
+    # can't-fit-anywhere regime costs O(1) per item instead of O(bins).
+    max_residual = 0.0
     for key, size in ordered:
         placed = False
-        for i, free in enumerate(residual):
-            if size <= free:
-                bins[i].append(key)
-                residual[i] = free - size
-                placed = True
-                break
+        if size <= max_residual:
+            scan_max = 0.0
+            for i, free in enumerate(residual):
+                if size <= free:
+                    bins[i].append(key)
+                    residual[i] = free - size
+                    placed = True
+                    break
+                if free > scan_max:
+                    scan_max = free
+            if not placed:
+                max_residual = scan_max
         if not placed:
             bins.append([key])
-            residual.append(max(0.0, capacity - size))
+            free = max(0.0, capacity - size)
+            residual.append(free)
+            if free > max_residual:
+                max_residual = free
     return bins
 
 

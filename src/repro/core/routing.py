@@ -84,6 +84,10 @@ class RoutingTable:
 
     def __init__(self, skeleton: IndexSkeleton, weights: np.ndarray) -> None:
         self.skeleton = skeleton
+        # CSR-compiled tries: trie walks during candidate construction (and
+        # the covering-partition lookups in the query pipeline) read flat
+        # arrays instead of chasing TrieNode children dicts.
+        self.flat = skeleton.flat_router()
         m = skeleton.prefix_length
         self.prefix_length = m
         self.n_pivots = skeleton.n_pivots
@@ -235,9 +239,10 @@ class RoutingTable:
             else:
                 wds = [float(wd_row[i]) for i in chosen]
         out = []
+        flat_tries = self.flat.tries
         for i, wd in zip(chosen, wds):
             g = groups[i]
-            path = tuple(g.trie.descend_path(sig))
+            path = flat_tries[i].descend_path_nodes(sig)
             out.append(GroupCandidate(g, int(od_row[i]), wd, path))
         out.sort(key=lambda c: (c.od, c.wd, c.entry.group_id))
         return out

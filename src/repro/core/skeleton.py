@@ -71,6 +71,7 @@ class IndexSkeleton:
     word_length: int
     groups: list[GroupEntry] = field(default_factory=list)
     n_partitions: int = 0
+    _flat_router: object = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not self.groups:
@@ -90,6 +91,21 @@ class IndexSkeleton:
 
     def total_trie_nodes(self) -> int:
         return sum(g.trie.node_count() for g in self.groups)
+
+    def flat_router(self):
+        """The CSR-compiled trie router over this skeleton's groups.
+
+        Compiled lazily, once: the builder's bulk redistribution, the
+        vectorised query routing table and :meth:`ClimberIndex.append` all
+        share the same compile.  The skeleton's tries are frozen after
+        construction (appends never rebalance), so the cache never goes
+        stale.
+        """
+        if self._flat_router is None:
+            from repro.core.trie_flat import FlatTrieRouter
+
+            self._flat_router = FlatTrieRouter(self)
+        return self._flat_router
 
     def fallback_mask(self) -> np.ndarray:
         """Boolean mask over groups, True at fall-back entries (routing)."""
@@ -113,24 +129,38 @@ class IndexSkeleton:
 
     @staticmethod
     def _trie_to_obj(node: TrieNode) -> list:
-        children = [
-            IndexSkeleton._trie_to_obj(node.children[p])
-            for p in sorted(node.children)
-        ]
-        pids = sorted(node.partition_ids) if node.is_leaf else []
-        return [node.pivot, round(node.count, 3), pids, children]
+        # Iterative, like every trie traversal: our own frames never bound
+        # the representable depth (the JSON encoder's nesting limit is the
+        # remaining ceiling, far beyond any real prefix length).
+        def make(nd: TrieNode) -> list:
+            pids = sorted(nd.partition_ids) if nd.is_leaf else []
+            return [nd.pivot, round(nd.count, 3), pids, []]
+
+        root_obj = make(node)
+        stack = [(node, root_obj)]
+        while stack:
+            nd, obj = stack.pop()
+            for pivot in sorted(nd.children):
+                child_obj = make(nd.children[pivot])
+                obj[3].append(child_obj)
+                stack.append((nd.children[pivot], child_obj))
+        return root_obj
 
     @staticmethod
     def _trie_from_obj(obj: list, path: tuple[int, ...]) -> TrieNode:
         pivot, count, pids, children = obj
-        node = TrieNode(pivot, path, count)
-        node.partition_ids = set(int(p) for p in pids)
-        for child_obj in children:
-            child = IndexSkeleton._trie_from_obj(
-                child_obj, path + (int(child_obj[0]),)
-            )
-            node.children[child.pivot] = child
-        return node
+        root = TrieNode(pivot, path, count)
+        root.partition_ids = set(int(p) for p in pids)
+        stack = [(root, children)]
+        while stack:
+            node, child_objs = stack.pop()
+            for child_obj in child_objs:
+                c_pivot = int(child_obj[0])
+                child = TrieNode(c_pivot, node.path + (c_pivot,), child_obj[1])
+                child.partition_ids = set(int(p) for p in child_obj[2])
+                node.children[c_pivot] = child
+                stack.append((child, child_obj[3]))
+        return root
 
     def to_bytes(self) -> bytes:
         buf = io.BytesIO()

@@ -62,12 +62,19 @@ class TrieNode:
         return len(self.path)
 
     def leaves(self) -> Iterator["TrieNode"]:
-        """Yield leaves of this subtree in sorted pivot order."""
-        if self.is_leaf:
-            yield self
-            return
-        for pivot in sorted(self.children):
-            yield from self.children[pivot].leaves()
+        """Yield leaves of this subtree in sorted pivot order.
+
+        Iterative (like every traversal here): tries can be as deep as the
+        signature prefix, beyond Python's recursion limit at large ``m``.
+        """
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                yield node
+                continue
+            for pivot in sorted(node.children, reverse=True):
+                stack.append(node.children[pivot])
 
     def descend(self, ranked_sig: Sequence[int]) -> "TrieNode":
         """Deepest node reachable by following the signature (Algorithm 3 L11)."""
@@ -93,22 +100,43 @@ class TrieNode:
 
     def subtree_partition_ids(self) -> set[int]:
         """Recompute the union of leaf partition ids (used after packing)."""
-        if self.is_leaf:
-            return set(self.partition_ids)
         out: set[int] = set()
-        for child in self.children.values():
-            out |= child.subtree_partition_ids()
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                out |= node.partition_ids
+            else:
+                stack.extend(node.children.values())
         return out
 
     def finalize_partitions(self) -> None:
-        """Propagate leaf partition ids up to every internal node."""
-        if not self.is_leaf:
-            for child in self.children.values():
-                child.finalize_partitions()
-            self.partition_ids = self.subtree_partition_ids()
+        """Propagate leaf partition ids up to every internal node.
+
+        Bottom-up over an explicit post-order stack, so each internal node
+        unions its children's already-final sets exactly once.
+        """
+        post: list[TrieNode] = []
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            if not node.is_leaf:
+                post.append(node)
+                stack.extend(node.children.values())
+        for node in reversed(post):
+            ids: set[int] = set()
+            for child in node.children.values():
+                ids |= child.partition_ids
+            node.partition_ids = ids
 
     def node_count(self) -> int:
-        return 1 + sum(c.node_count() for c in self.children.values())
+        total = 0
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            total += 1
+            stack.extend(node.children.values())
+        return total
 
     def __repr__(self) -> str:
         kind = "leaf" if self.is_leaf else f"{len(self.children)} children"
@@ -156,16 +184,26 @@ def _split(
     capacity: float,
     prefix_len: int,
 ) -> None:
-    """Recursively split ``node`` while it exceeds capacity (Fig. 5)."""
-    if node.count <= capacity or node.depth >= prefix_len:
-        return
-    buckets: dict[int, list[tuple[tuple[int, ...], float]]] = {}
-    for sig, cnt in members:
-        buckets.setdefault(int(sig[node.depth]), []).append((sig, cnt))
-    if len(buckets) <= 0:
-        return
-    for pivot in sorted(buckets):
-        subset = buckets[pivot]
-        child = TrieNode(pivot, node.path + (pivot,), sum(c for _, c in subset))
-        node.children[pivot] = child
-        _split(child, subset, capacity, prefix_len)
+    """Split ``node`` while it exceeds capacity (Fig. 5).
+
+    Iterative with an explicit work stack: a trie can be as deep as the
+    signature prefix, and at large ``m`` a recursive formulation walks off
+    Python's recursion limit long before the prefix is exhausted.
+    """
+    stack: list[tuple[TrieNode, list[tuple[tuple[int, ...], float]]]] = [
+        (node, members)
+    ]
+    while stack:
+        node, members = stack.pop()
+        if node.count <= capacity or node.depth >= prefix_len:
+            continue
+        buckets: dict[int, list[tuple[tuple[int, ...], float]]] = {}
+        for sig, cnt in members:
+            buckets.setdefault(int(sig[node.depth]), []).append((sig, cnt))
+        for pivot in sorted(buckets):
+            subset = buckets[pivot]
+            child = TrieNode(
+                pivot, node.path + (pivot,), sum(c for _, c in subset)
+            )
+            node.children[pivot] = child
+            stack.append((child, subset))

@@ -8,6 +8,7 @@ from repro.storage.engine import (
     StorageBackend,
     StorageEngine,
     encode_partition_v2,
+    encode_partition_v2_arrays,
 )
 from repro.storage.partition import PartitionFile
 from repro.storage.serialization import (
@@ -27,6 +28,7 @@ __all__ = [
     "LocalDiskBackend",
     "PartitionV2View",
     "encode_partition_v2",
+    "encode_partition_v2_arrays",
     "array_to_bytes",
     "array_from_bytes",
     "json_to_bytes",

@@ -39,7 +39,7 @@ from repro.exceptions import PartitionNotFoundError, StorageError
 from repro.series import series_nbytes
 from repro.storage.engine import LocalDiskBackend, MemoryBackend, StorageEngine
 from repro.storage.engine.engine import PartitionHandle
-from repro.storage.partition import PartitionFile
+from repro.storage.partition import PartitionFile, logical_partition_nbytes
 
 __all__ = ["SimulatedDFS", "DfsCounters"]
 
@@ -192,6 +192,49 @@ class SimulatedDFS:
                        partition.series_length)
         self.counters.bytes_written += nbytes
         self.counters.partitions_written += 1
+
+    def write_partition_arrays(
+        self,
+        partition_id: str,
+        ids,
+        values,
+        header: dict[str, tuple[int, int]],
+        rows=None,
+    ) -> int:
+        """Bulk-write entry point: store cluster-sorted arrays directly.
+
+        The flat-trie build pipeline routes and sorts every record in bulk,
+        then writes each partition straight from the dataset arrays (with a
+        ready cluster directory) through here — into the configured
+        physical format, with no intermediate :class:`PartitionFile` on the
+        v2 path.  With ``rows`` given, ``ids``/``values`` are source arrays
+        and the stored records are ``ids[rows]``/``values[rows]``, gathered
+        directly into the payload buffer.  Registration, logical counters
+        and cache invalidation behave exactly like :meth:`write_partition`;
+        the stored bytes are identical to writing
+        ``PartitionFile.from_clusters`` over the same records.  Returns the
+        partition's logical size in bytes.
+        """
+        if partition_id in self._sizes:
+            raise StorageError(f"partition {partition_id!r} already exists")
+        record_count = int(rows.shape[0] if rows is not None else ids.shape[0])
+        series_length = int(values.shape[1])
+        nbytes = logical_partition_nbytes(record_count, series_length, header)
+        if self._object_store():
+            self._partitions[partition_id] = PartitionFile.from_arrays(
+                partition_id,
+                ids[rows] if rows is not None else ids,
+                values[rows] if rows is not None else values,
+                header,
+            )
+        else:
+            self._engine.write_arrays(partition_id, ids, values, header,
+                                      rows=rows)
+        self._cache_evict(partition_id)
+        self._register(partition_id, nbytes, record_count, series_length)
+        self.counters.bytes_written += nbytes
+        self.counters.partitions_written += 1
+        return nbytes
 
     def read_partition(self, partition_id: str) -> PartitionHandle:
         """One partition, as a :class:`PartitionFile` (v1) or lazy v2 view.

@@ -27,6 +27,7 @@ from repro.storage.engine.format import (
     PartitionV2View,
     decode_v2_header,
     encode_partition_v2,
+    encode_partition_v2_arrays,
     is_v2_payload,
 )
 
@@ -39,6 +40,7 @@ __all__ = [
     "PartitionV2View",
     "FORMAT_V2_MAGIC",
     "encode_partition_v2",
+    "encode_partition_v2_arrays",
     "decode_v2_header",
     "is_v2_payload",
 ]

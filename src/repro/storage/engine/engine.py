@@ -27,6 +27,7 @@ from repro.storage.engine.backend import StorageBackend
 from repro.storage.engine.format import (
     PartitionV2View,
     encode_partition_v2,
+    encode_partition_v2_arrays,
     is_v2_payload,
 )
 from repro.storage.partition import PartitionFile
@@ -89,6 +90,38 @@ class StorageEngine:
         else:
             payload = partition.to_bytes()
         self.backend.write(self._name(partition.partition_id), payload)
+        return len(payload)
+
+    def write_arrays(
+        self,
+        partition_id: str,
+        ids: np.ndarray,
+        values: np.ndarray,
+        header: dict[str, tuple[int, int]],
+        rows: np.ndarray | None = None,
+    ) -> int:
+        """Bulk-write entry point: store cluster-sorted arrays directly.
+
+        With format v2 the arrays are encoded straight into the columnar
+        payload — no intermediate :class:`PartitionFile` — which is how the
+        flat-trie builder writes every partition.  With ``rows`` given,
+        ``ids``/``values`` are source arrays and the stored records are
+        ``ids[rows]``/``values[rows]``, gathered directly into the payload
+        buffer.  The stored bytes are identical to
+        ``write_partition(PartitionFile.from_clusters(...))`` over the
+        same records.  Returns the physical byte count.
+        """
+        if self.partition_format == "v2":
+            payload = encode_partition_v2_arrays(partition_id, ids, values,
+                                                 header, rows=rows)
+        else:
+            if rows is not None:
+                ids = np.asarray(ids, dtype=np.int64)[rows]
+                values = np.asarray(values, dtype=np.float64)[rows]
+            payload = PartitionFile.from_arrays(
+                partition_id, ids, values, header
+            ).to_bytes()
+        self.backend.write(self._name(partition_id), payload)
         return len(payload)
 
     # -- read -------------------------------------------------------------------

@@ -110,6 +110,41 @@ class PartitionFile:
             header=header,
         )
 
+    @classmethod
+    def from_arrays(
+        cls,
+        partition_id: str,
+        ids: np.ndarray,
+        values: np.ndarray,
+        header: Mapping[str, tuple[int, int]],
+    ) -> "PartitionFile":
+        """Wrap records already laid out in final cluster order.
+
+        The bulk-write counterpart of :meth:`from_clusters`: the caller
+        (the flat-trie build pipeline) has sorted the records so each
+        cluster is a contiguous run and supplies the directory directly —
+        no per-cluster concatenation happens here.  ``header`` insertion
+        order defines cluster order and must be key-sorted to match the
+        :meth:`from_clusters` layout contract.
+        """
+        if not header:
+            raise StorageError(f"partition {partition_id!r} needs >= 1 cluster")
+        ids = np.asarray(ids, dtype=np.int64)
+        values = np.asarray(values, dtype=np.float64)
+        if values.ndim != 2 or ids.ndim != 1 or ids.shape[0] != values.shape[0]:
+            raise StorageError(
+                f"partition {partition_id!r}: ids/values shape mismatch"
+            )
+        out_header: dict[str, tuple[int, int]] = {}
+        for key, (offset, count) in header.items():
+            offset, count = int(offset), int(count)
+            if offset < 0 or count < 0 or offset + count > ids.shape[0]:
+                raise StorageError(
+                    f"cluster {key!r} range outside partition payload"
+                )
+            out_header[key] = (offset, count)
+        return cls(partition_id, ids, values, out_header)
+
     # -- access ------------------------------------------------------------------
 
     @property

@@ -1,0 +1,162 @@
+"""Old-vs-new construction parity: the flat build pipeline must be invisible.
+
+The tentpole contract of the flat-trie builder: against the legacy
+per-record redistribution it produces **byte-identical partitions** (both
+physical formats), an identical skeleton, identical logical DFS counters
+and an identical simulated-cost stage list.  Appends through the batch
+route must likewise match the legacy per-record append clustering.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ClimberConfig, ClimberIndex
+from repro.core.builder import build_index_artifacts
+from repro.core.skeleton import cluster_key, partition_name
+from repro.datasets import make_dataset, sample_queries
+from repro.exceptions import ConfigurationError
+from repro.storage import PartitionFile, SimulatedDFS
+
+CONFIG = dict(word_length=8, n_pivots=48, prefix_length=6, capacity=150,
+              sample_fraction=0.2, n_input_partitions=32, seed=9)
+
+
+def build_pair(fmt: str, tmp_path=None):
+    dataset = make_dataset("RandomWalk", 3000, length=48, seed=5)
+    out = {}
+    for mode in ("legacy", "flat"):
+        kwargs = {"partition_format": fmt}
+        if tmp_path is not None:
+            dfs = SimulatedDFS(backing_dir=tmp_path / f"{fmt}-{mode}",
+                               partition_format=fmt)
+        else:
+            dfs = SimulatedDFS(partition_format=fmt)
+        cfg = ClimberConfig(**CONFIG, **kwargs)
+        out[mode] = build_index_artifacts(dataset, cfg, dfs=dfs,
+                                          redistribution=mode)
+    return dataset, out["legacy"], out["flat"]
+
+
+def stored_bytes(dfs: SimulatedDFS, pid: str) -> bytes:
+    engine = dfs.engine
+    name = engine._name(pid)
+    return bytes(engine.backend.read_range(name, 0, engine.backend.size(name)))
+
+
+class TestBuilderParity:
+    @pytest.fixture(scope="class")
+    def v2_pair(self):
+        return build_pair("v2")
+
+    def test_skeletons_identical(self, v2_pair):
+        _, legacy, flat = v2_pair
+        assert legacy.skeleton.to_bytes() == flat.skeleton.to_bytes()
+
+    def test_partitions_byte_identical_v2(self, v2_pair):
+        _, legacy, flat = v2_pair
+        assert legacy.dfs.list_partitions() == flat.dfs.list_partitions()
+        assert len(legacy.dfs.list_partitions()) > 5
+        for pid in legacy.dfs.list_partitions():
+            assert stored_bytes(legacy.dfs, pid) == stored_bytes(flat.dfs, pid)
+
+    def test_partitions_identical_v1_object_store(self):
+        _, legacy, flat = build_pair("v1")
+        assert legacy.dfs.list_partitions() == flat.dfs.list_partitions()
+        for pid in legacy.dfs.list_partitions():
+            a = legacy.dfs.read_partition(pid)
+            b = flat.dfs.read_partition(pid)
+            assert a.to_bytes() == b.to_bytes()
+
+    def test_counters_identical(self, v2_pair):
+        _, legacy, flat = v2_pair
+        assert legacy.dfs.counters == flat.dfs.counters
+
+    def test_sim_stage_costs_identical(self, v2_pair):
+        """Identical stage names, task counts, costs and exact seconds."""
+        _, legacy, flat = v2_pair
+        sa, sb = legacy.sim_report.stages, flat.sim_report.stages
+        assert [s.name for s in sa] == [s.name for s in sb]
+        for x, y in zip(sa, sb):
+            assert x.n_tasks == y.n_tasks
+            assert x.total_cost == y.total_cost
+            assert x.sim_seconds == y.sim_seconds  # bit-exact
+
+    def test_query_results_identical(self, v2_pair):
+        dataset, legacy, flat = v2_pair
+        cfg = ClimberConfig(**CONFIG)
+        queries = sample_queries(dataset, 10, seed=3).values
+        from repro.cluster import CostModel
+
+        ia = ClimberIndex(legacy, cfg, CostModel())
+        ib = ClimberIndex(flat, cfg, CostModel())
+        for ra, rb in zip(ia.knn_batch(queries, 8), ib.knn_batch(queries, 8)):
+            assert np.array_equal(ra.ids, rb.ids)
+            assert np.array_equal(ra.distances, rb.distances)
+            assert ra.stats.partitions_loaded == rb.stats.partitions_loaded
+            assert ra.stats.sim_seconds == rb.stats.sim_seconds
+
+    def test_wall_phase_seconds_recorded(self, v2_pair):
+        _, legacy, flat = v2_pair
+        for art in (legacy, flat):
+            assert set(art.wall_phase_seconds) == {"convert", "redistribute"}
+            assert all(v >= 0 for v in art.wall_phase_seconds.values())
+
+    def test_unknown_redistribution_mode_rejected(self):
+        dataset = make_dataset("RandomWalk", 300, length=32, seed=1)
+        with pytest.raises(ConfigurationError):
+            build_index_artifacts(
+                dataset, ClimberConfig(**CONFIG), redistribution="spark"
+            )
+
+
+class TestAppendParity:
+    def test_append_matches_legacy_clustering(self):
+        """Delta partitions equal the legacy per-record append layout."""
+        dataset = make_dataset("RandomWalk", 2000, length=48, seed=5)
+        cfg = ClimberConfig(**CONFIG)
+        index = ClimberIndex.build(dataset, cfg)
+        batch = make_dataset("RandomWalk", 500, length=48, seed=77)
+
+        # Reference clustering: the seed per-record append loop.
+        from repro.pivots import permutation_prefixes
+        from repro.series import paa_transform
+
+        paa = paa_transform(batch.values, cfg.word_length)
+        ranked = permutation_prefixes(paa, index.pivots, cfg.prefix_length)
+        gids = index._art.assigner.assign(ranked).group_indices
+        clusters: dict[int, dict[str, list[int]]] = {}
+        for local in range(batch.count):
+            gid = int(gids[local])
+            entry = index.skeleton.group(gid)
+            node = entry.trie.descend(ranked[local])
+            if node.is_leaf and node.partition_ids:
+                pid = next(iter(node.partition_ids))
+                key = cluster_key(gid, node.path)
+            else:
+                pid = entry.default_partition
+                key = cluster_key(gid, None)
+            clusters.setdefault(pid, {}).setdefault(key, []).append(local)
+
+        # assigner.assign consumes RNG draws on ties: rebuild the index so
+        # the real append sees the same stream state the reference saw.
+        index = ClimberIndex.build(dataset, cfg)
+        summary = index.append(batch)
+        assert summary["records_appended"] == batch.count
+        expected = {
+            f"{partition_name(pid)}.d0": {
+                key: (batch.ids[rows], batch.values[rows])
+                for key, rows in clusters[pid].items()
+                for rows in [np.asarray(rows, dtype=np.int64)]
+            }
+            for pid in clusters
+        }
+        assert sorted(summary["delta_partitions"]) == sorted(expected)
+        for delta_id, mapping in expected.items():
+            ref = PartitionFile.from_clusters(delta_id, mapping)
+            got = index.dfs.read_partition(delta_id)
+            assert got.cluster_keys() == ref.cluster_keys()
+            assert np.array_equal(got.ids, ref.ids)
+            assert np.array_equal(got.values, ref.values)
+            assert dict(got.header) == dict(ref.header)

@@ -204,3 +204,73 @@ class TestScanVsIndexShape:
         assert scan.sim_seconds > 40 * index_read.sim_seconds
         assert 100 < scan.sim_seconds < 2_000
         assert index_read.sim_seconds < 20
+
+
+class TestRunStageFastPath:
+    """Single-task / uniform-cost stages skip the LPT heap but must stay
+    bit-identical to the general scheduling path."""
+
+    @staticmethod
+    def _reference_run_stage(model, costs):
+        """The seed heap scheduling, reproduced for exact comparison."""
+        import heapq
+
+        durations = sorted(
+            (
+                model.compute_time(c.cpu_ops)
+                + (model.disk_seek_s if c.read_bytes else 0.0)
+                + model.task_overhead_s
+                for c in costs
+            ),
+            reverse=True,
+        )
+        heap = [0.0] * min(model.total_cores, len(durations))
+        heapq.heapify(heap)
+        for dur in durations:
+            earliest = heapq.heappop(heap)
+            heapq.heappush(heap, earliest + dur)
+        cpu_makespan = max(heap)
+        total = TaskCost()
+        for c in costs:
+            total = total + c
+        io_seconds = max(
+            total.read_bytes / model.cluster_read_bytes_s,
+            total.write_bytes
+            * max(1, model.replication_factor - 1)
+            / model.cluster_write_bytes_s,
+            total.shuffle_bytes / model.cluster_network_bytes_s,
+        )
+        return model.stage_overhead_s + max(cpu_makespan, io_seconds), total
+
+    def test_uniform_stage_bit_identical_to_heap(self):
+        model = CostModel(n_nodes=1, cores_per_node=3)
+        for n_tasks in (1, 2, 3, 4, 7, 100):
+            cost = TaskCost(read_bytes=7_777_777, write_bytes=123,
+                            shuffle_bytes=456, cpu_ops=987_654_321)
+            costs = [cost] * n_tasks
+            sim = ClusterSimulator(model)
+            stage = sim.run_stage("uniform", costs)
+            ref_seconds, ref_total = self._reference_run_stage(model, costs)
+            assert stage.sim_seconds == ref_seconds  # exact, not approx
+            assert stage.total_cost == ref_total
+            assert stage.n_tasks == n_tasks
+
+    def test_single_irregular_task_bit_identical(self):
+        model = CostModel()
+        cost = TaskCost(cpu_ops=31_415_926, read_bytes=1)
+        sim = ClusterSimulator(model)
+        stage = sim.run_stage("one", [cost])
+        ref_seconds, ref_total = self._reference_run_stage(model, [cost])
+        assert stage.sim_seconds == ref_seconds
+        assert stage.total_cost == ref_total
+
+    def test_mixed_costs_take_general_path(self):
+        model = CostModel(n_nodes=1, cores_per_node=2,
+                          task_overhead_s=0.0, stage_overhead_s=0.0,
+                          disk_seek_s=0.0, software_factor=1.0)
+        tasks = [TaskCost(cpu_ops=int(x * 1.5e9)) for x in (4, 3, 2, 1)]
+        sim = ClusterSimulator(model)
+        stage = sim.run_stage("lpt", tasks)
+        ref_seconds, _ = self._reference_run_stage(model, tasks)
+        assert stage.sim_seconds == ref_seconds
+        assert stage.sim_seconds == pytest.approx(5.0)

@@ -99,3 +99,48 @@ def test_ffd_invariants_property(data):
     # First-fit guarantee: at most one bin can end up at most half full
     # (otherwise the later bin's first item would have fit the earlier one).
     assert sum(1 for load in loads if load <= capacity / 2) <= 1
+
+
+class TestFfdEarlyExitParity:
+    """The max-residual early exit must not change any packing decision."""
+
+    @staticmethod
+    def _reference_ffd(items, capacity):
+        """The seed FFD without the early exit."""
+        ordered = sorted(items, key=lambda kv: (-kv[1], str(kv[0])))
+        bins, residual = [], []
+        for key, size in ordered:
+            placed = False
+            for i, free in enumerate(residual):
+                if size <= free:
+                    bins[i].append(key)
+                    residual[i] = free - size
+                    placed = True
+                    break
+            if not placed:
+                bins.append([key])
+                residual.append(max(0.0, capacity - size))
+        return bins
+
+    def test_randomized_parity(self):
+        rng = np.random.default_rng(17)
+        for trial in range(40):
+            n = int(rng.integers(1, 200))
+            capacity = float(rng.uniform(5.0, 200.0))
+            # Include oversized items (> capacity) and duplicates.
+            sizes = rng.uniform(0.0, capacity * 1.4, size=n)
+            items = [((i % max(1, n // 2), i), float(s))
+                     for i, s in enumerate(sizes)]
+            assert first_fit_decreasing(items, capacity) == \
+                self._reference_ffd(items, capacity), f"trial {trial}"
+
+    def test_oversized_items_each_get_a_bin(self):
+        items = [("a", 50.0), ("b", 40.0), ("c", 30.0)]
+        bins = first_fit_decreasing(items, 10.0)
+        assert bins == [["a"], ["b"], ["c"]]
+
+    def test_skip_regime_still_places_later_small_items(self):
+        # A big item tightens the bound, then a small item must still scan.
+        items = [("big1", 9.0), ("big2", 9.0), ("tiny", 1.0)]
+        bins = first_fit_decreasing(items, 10.0)
+        assert bins == [["big1", "tiny"], ["big2"]]

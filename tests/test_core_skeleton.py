@@ -134,3 +134,32 @@ class TestSerialisation:
                 out.groups[1].trie.descend(sig).path
                 == sk.groups[1].trie.descend(sig).path
             )
+
+
+class TestDeepTrieSerialisationObjects:
+    def test_trie_obj_conversion_is_iterative(self):
+        """_trie_to_obj/_trie_from_obj must handle tries far deeper than
+        the recursion limit (the JSON encoder's nesting ceiling is the
+        only remaining bound on full to_bytes round-trips)."""
+        import sys
+
+        from repro.core import build_group_trie
+        from repro.core.skeleton import IndexSkeleton
+
+        depth = sys.getrecursionlimit() + 500
+        shared = tuple(range(depth - 1))
+        root = build_group_trie(
+            [shared + (depth,), shared + (depth + 1,)],
+            [60.0, 60.0], capacity=100.0,
+        )
+        for leaf, pid in zip(root.leaves(), (0, 1)):
+            leaf.partition_ids = {pid}
+        root.finalize_partitions()
+        obj = IndexSkeleton._trie_to_obj(root)
+        rebuilt = IndexSkeleton._trie_from_obj(obj, ())
+        rebuilt.finalize_partitions()
+        assert rebuilt.node_count() == root.node_count()
+        assert [l.path for l in rebuilt.leaves()] == [
+            l.path for l in root.leaves()
+        ]
+        assert rebuilt.partition_ids == {0, 1}

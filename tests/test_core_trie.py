@@ -153,3 +153,25 @@ def test_trie_invariants_property(data):
     for leaf in root.leaves():
         if leaf.count > capacity:
             assert leaf.depth == m
+
+
+class TestDeepTrieIteration:
+    def test_deep_trie_beyond_recursion_limit(self):
+        """Splitting is iterative: a trie as deep as the prefix must build
+        even when the prefix far exceeds Python's recursion limit."""
+        import sys
+
+        depth = sys.getrecursionlimit() + 500
+        shared = tuple(range(depth - 1))
+        sig_a = shared + (depth,)
+        sig_b = shared + (depth + 1,)
+        # Both signatures share a depth-1 prefix and jointly exceed the
+        # capacity at every level, so the trie splits all the way down.
+        root = build_group_trie([sig_a, sig_b], [60.0, 60.0], capacity=100.0)
+        leaves = list(root.leaves())
+        assert len(leaves) == 2
+        assert sorted(leaf.path for leaf in leaves) == sorted([sig_a, sig_b])
+        assert all(leaf.depth == depth for leaf in leaves)
+        # Walks are iterative too.
+        assert root.descend(sig_a).path == sig_a
+        assert root.node_count() == depth + 2

@@ -463,3 +463,35 @@ class TestDfsEngineFacade:
         assert dfs.counters.bytes_written == part.nbytes
         assert dfs.counters.bytes_read == part.nbytes
         assert dfs.counters.partitions_read == 1
+
+
+class TestWriteArraysValidation:
+    def test_v2_rejects_directory_outside_payload(self):
+        """The bulk array writer validates cluster ranges like the v1 path."""
+        import numpy as np
+
+        from repro.storage import encode_partition_v2_arrays
+
+        ids = np.arange(4, dtype=np.int64)
+        values = np.zeros((4, 8))
+        with pytest.raises(StorageError):
+            encode_partition_v2_arrays("p", ids, values, {"G0": (0, 9)})
+        with pytest.raises(StorageError):
+            encode_partition_v2_arrays("p", ids, values, {"G0": (-1, 2)})
+        with pytest.raises(StorageError):
+            encode_partition_v2_arrays("p", ids, values, {})
+        with pytest.raises(StorageError):
+            encode_partition_v2_arrays(
+                "p", ids, values, {"G0": (0, 2)}, rows=np.array([0, 9])
+            )
+        # A valid directory over gathered rows still round-trips.
+        payload = encode_partition_v2_arrays(
+            "p", ids, values, {"G0": (0, 2)}, rows=np.array([2, 0])
+        )
+        from repro.storage.engine.format import PartitionV2View
+
+        view = PartitionV2View(
+            lambda off, ln: memoryview(payload)[off:off + ln]
+        )
+        got_ids, _ = view.read_cluster("G0")
+        assert got_ids.tolist() == [2, 0]

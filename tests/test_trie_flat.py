@@ -1,0 +1,281 @@
+"""Parity suite for the CSR flat-trie router (core/trie_flat.py).
+
+Every claim the flat subsystem makes is checked against the pointer-based
+:class:`TrieNode` reference on randomized tries: batch ``descend_many``
+against per-record ``descend``, ``descend_path_ids`` against
+``descend_path``, ``covering_partitions``/``subtree_keys`` against the
+recursive leaf walks, and the router's bulk ``route``/``partition_layout``
+against the legacy per-record redistribution grouping.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ClimberConfig,
+    ClimberIndex,
+    FlatTrie,
+    FlatTrieRouter,
+    build_group_trie,
+    first_fit_decreasing,
+)
+from repro.core.skeleton import (
+    GroupEntry,
+    IndexSkeleton,
+    cluster_key,
+)
+from repro.datasets import make_dataset
+from repro.exceptions import ConfigurationError
+
+N_PIVOTS = 24
+PREFIX = 6
+
+
+def random_group_trie(rng: np.random.Generator, next_pid: int = 0):
+    """A packed, finalised group trie like builder Step 3 produces."""
+    n_sigs = int(rng.integers(1, 120))
+    sigs = set()
+    while len(sigs) < n_sigs:
+        sigs.add(tuple(int(p) for p in rng.permutation(N_PIVOTS)[:PREFIX]))
+    sigs = sorted(sigs)
+    counts = rng.uniform(1.0, 120.0, size=len(sigs)).tolist()
+    capacity = float(rng.uniform(30.0, 400.0))
+    trie = build_group_trie(sigs, counts, capacity)
+    leaves = list(trie.leaves())
+    bins = first_fit_decreasing(
+        [(leaf.path, leaf.count) for leaf in leaves], capacity
+    )
+    leaf_by_path = {leaf.path: leaf for leaf in leaves}
+    pids = []
+    for bin_paths in bins:
+        pid = next_pid
+        next_pid += 1
+        for path in bin_paths:
+            leaf_by_path[path].partition_ids = {pid}
+        pids.append(pid)
+    trie.finalize_partitions()
+    return trie, sigs, pids, next_pid
+
+
+def random_queries(rng: np.random.Generator, sigs, n: int) -> np.ndarray:
+    """A mix of member signatures and fresh random permutations."""
+    rows = []
+    for _ in range(n):
+        if sigs and rng.random() < 0.5:
+            rows.append(sigs[int(rng.integers(0, len(sigs)))])
+        else:
+            rows.append(tuple(int(p) for p in rng.permutation(N_PIVOTS)[:PREFIX]))
+    return np.asarray(rows, dtype=np.int64)
+
+
+class TestFlatTrieParity:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_descend_many_matches_descend(self, seed):
+        rng = np.random.default_rng(seed)
+        trie, sigs, _, _ = random_group_trie(rng)
+        ft = FlatTrie(trie, group_id=0, n_pivots=N_PIVOTS)
+        queries = random_queries(rng, sigs, 200)
+        nids = ft.descend_many(queries)
+        for row, nid in zip(queries, nids):
+            assert ft.nodes[int(nid)] is trie.descend(row)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_descend_path_matches(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        trie, sigs, _, _ = random_group_trie(rng)
+        ft = FlatTrie(trie, group_id=3, n_pivots=N_PIVOTS)
+        for row in random_queries(rng, sigs, 100):
+            sig = tuple(int(p) for p in row)
+            ref = trie.descend_path(sig)
+            got = [ft.nodes[i] for i in ft.descend_path_ids(sig)]
+            assert [id(n) for n in got] == [id(n) for n in ref]
+            assert all(a is b for a, b in
+                       zip(ft.descend_path_nodes(sig), ref))
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_covering_partitions_and_subtree_keys(self, seed):
+        rng = np.random.default_rng(200 + seed)
+        trie, _, _, _ = random_group_trie(rng)
+        gid = int(rng.integers(0, 9))
+        ft = FlatTrie(trie, group_id=gid, n_pivots=N_PIVOTS)
+        nids = list(range(ft.n_nodes))
+        covers = ft.covering_partitions(nids)
+        for nid, pids in zip(nids, covers):
+            node = ft.nodes[nid]
+            assert sorted(node.partition_ids) == [int(p) for p in pids]
+            ref_keys = [
+                cluster_key(gid, leaf.path) for leaf in node.leaves()
+            ]
+            assert list(ft.subtree_keys(nid)) == ref_keys
+
+    def test_single_leaf_group(self):
+        trie = build_group_trie([(1, 2, 3)], [10.0], capacity=100.0)
+        trie.partition_ids = {7}
+        ft = FlatTrie(trie, group_id=2, n_pivots=8)
+        assert ft.n_nodes == 1
+        assert ft.descend_many(np.array([[1, 2, 3]]))[0] == 0
+        assert ft.covering_partitions([0])[0].tolist() == [7]
+        assert ft.subtree_keys(0) == ["G2"]
+
+    def test_empty_group(self):
+        trie = build_group_trie([], [], capacity=10.0)
+        ft = FlatTrie(trie, group_id=0, n_pivots=8)
+        assert ft.n_nodes == 1 and ft.n_edges == 0
+        assert ft.descend_many(np.zeros((4, 3), dtype=np.int64)).tolist() == [0] * 4
+
+    def test_out_of_range_pivot_misses(self):
+        trie = build_group_trie(
+            [(0, 1), (1, 0)], [50.0, 50.0], capacity=60.0
+        )
+        ft = FlatTrie(trie, group_id=0, n_pivots=2)
+        # pivot 5 exceeds the stride: the walk must stall at the root, not
+        # alias another node's composite key.
+        assert ft.descend_many(np.array([[5, 0]]))[0] == 0
+
+    def test_foreign_node_rejected(self):
+        t1 = build_group_trie([(0, 1)], [1.0], 10.0)
+        t2 = build_group_trie([(0, 1)], [1.0], 10.0)
+        ft = FlatTrie(t1, group_id=0, n_pivots=4)
+        with pytest.raises(ConfigurationError):
+            ft.id_of(t2)
+
+
+def build_random_skeleton(rng: np.random.Generator):
+    """A multi-group skeleton with packed tries and default partitions."""
+    n_groups = int(rng.integers(2, 6))
+    groups = []
+    next_pid = 0
+    for gid in range(n_groups):
+        trie, sigs, pids, next_pid = random_group_trie(rng, next_pid)
+        groups.append(
+            GroupEntry(
+                group_id=gid,
+                centroid=() if gid == 0 else tuple(
+                    sorted(int(p) for p in rng.permutation(N_PIVOTS)[:PREFIX])
+                ),
+                trie=trie,
+                default_partition=pids[int(rng.integers(0, len(pids)))],
+                est_size=trie.count,
+            )
+        )
+    return IndexSkeleton(
+        prefix_length=PREFIX,
+        n_pivots=N_PIVOTS,
+        word_length=8,
+        groups=groups,
+        n_partitions=next_pid,
+    )
+
+
+def reference_route(skeleton, ranked, gids):
+    """The legacy per-record routing loop (builder Step 4 semantics)."""
+    out = []
+    for row, gid in zip(ranked, gids):
+        entry = skeleton.groups[int(gid)]
+        node = entry.trie.descend(row)
+        if node.is_leaf and node.partition_ids:
+            out.append((min(node.partition_ids),
+                        cluster_key(entry.group_id, node.path)))
+        else:
+            out.append((entry.default_partition,
+                        cluster_key(entry.group_id, None)))
+    return out
+
+
+class TestFlatTrieRouter:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_route_matches_per_record_walks(self, seed):
+        rng = np.random.default_rng(300 + seed)
+        skeleton = build_random_skeleton(rng)
+        router = FlatTrieRouter(skeleton)
+        n = 400
+        ranked = random_queries(rng, [], n)
+        gids = rng.integers(0, len(skeleton.groups), size=n)
+        kid_of = router.route(ranked, gids)
+        ref = reference_route(skeleton, ranked, gids)
+        for kid, (pid, key) in zip(kid_of, ref):
+            assert int(router.kid_pid[int(kid)]) == pid
+            assert router.cluster_keys[int(kid)] == key
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_partition_layout_matches_from_clusters_grouping(self, seed):
+        """The sort-based grouping equals the legacy dict-of-lists layout."""
+        rng = np.random.default_rng(400 + seed)
+        skeleton = build_random_skeleton(rng)
+        router = FlatTrieRouter(skeleton)
+        n = 300
+        ranked = random_queries(rng, [], n)
+        gids = rng.integers(0, len(skeleton.groups), size=n)
+        kid_of = router.route(ranked, gids)
+        order, parts = router.partition_layout(kid_of)
+
+        # Legacy grouping: pid -> key -> arrival-ordered record rows.
+        clusters: dict[int, dict[str, list[int]]] = {}
+        for row, (pid, key) in enumerate(
+            reference_route(skeleton, ranked, gids)
+        ):
+            clusters.setdefault(pid, {}).setdefault(key, []).append(row)
+
+        assert [p[0] for p in parts] == sorted(clusters)
+        for pid, start, end, header in parts:
+            ref_keys = sorted(clusters[pid])
+            assert list(header) == ref_keys
+            offset = 0
+            for key in ref_keys:
+                rows = clusters[pid][key]
+                assert header[key] == (offset, len(rows))
+                got = order[start + offset:start + offset + len(rows)]
+                assert got.tolist() == rows  # stable sort: arrival order
+                offset += len(rows)
+            assert end - start == offset
+
+    def test_searchsorted_fallback_matches_dense(self, monkeypatch):
+        import repro.core.trie_flat as tf
+
+        rng = np.random.default_rng(77)
+        skeleton = build_random_skeleton(rng)
+        dense = FlatTrieRouter(skeleton)
+        assert dense.edge_map is not None
+        monkeypatch.setattr(tf, "_DENSE_EDGE_MAP_CAP", 0)
+        sparse = FlatTrieRouter(skeleton)
+        assert sparse.edge_map is None
+        ranked = random_queries(rng, [], 500)
+        gids = rng.integers(0, len(skeleton.groups), size=500)
+        assert np.array_equal(
+            dense.route(ranked, gids), sparse.route(ranked, gids)
+        )
+
+    def test_route_validates_inputs(self):
+        rng = np.random.default_rng(5)
+        skeleton = build_random_skeleton(rng)
+        router = FlatTrieRouter(skeleton)
+        with pytest.raises(ConfigurationError):
+            router.route(np.zeros((3, PREFIX), dtype=np.int64),
+                         np.zeros(2, dtype=np.int64))
+        with pytest.raises(ConfigurationError):
+            router.route(np.zeros((1, PREFIX), dtype=np.int64),
+                         np.array([len(skeleton.groups)]))
+
+
+class TestQueryPathUsesFlat:
+    def test_index_candidates_walk_flat_arrays(self):
+        dataset = make_dataset("RandomWalk", 1200, length=32, seed=4)
+        index = ClimberIndex.build(
+            dataset,
+            ClimberConfig(word_length=8, n_pivots=32, prefix_length=6,
+                          capacity=120, sample_fraction=0.2,
+                          n_input_partitions=8, seed=1),
+        )
+        flat = index.routing.flat
+        assert flat is index.skeleton.flat_router()  # one shared compile
+        sig = index.query_signature(dataset.values[0])
+        for cand in index.group_candidates(sig):
+            ft = flat.tries[cand.entry.group_id]
+            ref = cand.entry.trie.descend_path(
+                tuple(int(p) for p in sig)
+            )
+            assert [id(n) for n in cand.path] == [id(n) for n in ref]
+            # candidate nodes are the flat compile's node objects
+            assert all(ft.id_of(n) >= 0 for n in cand.path)
