@@ -148,6 +148,11 @@ def main() -> None:
           f"flat {flat['build_wall_s_best']:.3f}s -> {build_speedup:.1f}x")
     print(f"parity: {parity}")
 
+    # Parity gates the artifact: numbers from a diverging pipeline are
+    # meaningless and must never overwrite the committed results.
+    if not all(parity.values()):
+        raise SystemExit("parity check failed; results not written")
+
     payload = {
         "smoke": args.smoke,
         "n_records": n,
@@ -167,8 +172,6 @@ def main() -> None:
     OUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {OUT_PATH}")
 
-    if not all(parity.values()):
-        raise SystemExit("parity check failed")
     # The committed (non-smoke) result must demonstrate the >= 5x
     # redistribution-throughput acceptance bar; smoke runs on shared CI
     # hosts only guard against gross regressions.

@@ -217,11 +217,12 @@ def main() -> None:
         "routing": routing,
         "batch": batch,
     }
+    # Parity gates the artifact: numbers from a diverging pipeline are
+    # meaningless and must never overwrite the committed results.
+    if not batch["results_identical"] or not batch["accounting_identical"]:
+        raise SystemExit("parity check failed; results not written")
     OUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {OUT_PATH}")
-
-    if not batch["results_identical"] or not batch["accounting_identical"]:
-        raise SystemExit("parity check failed")
 
 
 if __name__ == "__main__":

@@ -216,11 +216,13 @@ def main() -> None:
         "bytes_materialised_ratio": bytes_ratio,
         "parity": parity,
     }
+    # Parity gates the artifact: numbers from a diverging pipeline are
+    # meaningless and must never overwrite the committed results.
+    if not parity["results_identical"] or not parity["counters_identical"]:
+        raise SystemExit("parity check failed; results not written")
     OUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {OUT_PATH}")
 
-    if not parity["results_identical"] or not parity["counters_identical"]:
-        raise SystemExit("parity check failed")
     if latency_speedup < 3.0 and bytes_ratio < 3.0:
         raise SystemExit(
             f"acceptance not met: {latency_speedup:.1f}x latency, "

@@ -8,7 +8,11 @@ CLIMBER-kNN-Adaptive, OD-Smallest).
 
 from repro.core.assignment import AssignmentResult, GroupAssigner
 from repro.core.builder import BuildArtifacts, build_index_artifacts
-from repro.core.centroids import FALLBACK_CENTROID, compute_centroids
+from repro.core.centroids import (
+    FALLBACK_CENTROID,
+    compute_centroids,
+    compute_centroids_reference,
+)
 from repro.core.config import PAPER_DEFAULTS, ClimberConfig
 from repro.core.index import ClimberIndex, GroupCandidate, QueryResult, QueryStats
 from repro.core.packing import first_fit, first_fit_decreasing, one_per_bin
@@ -32,6 +36,7 @@ __all__ = [
     "GroupAssigner",
     "AssignmentResult",
     "compute_centroids",
+    "compute_centroids_reference",
     "FALLBACK_CENTROID",
     "TrieNode",
     "build_group_trie",

@@ -7,6 +7,22 @@ G0.  The returned group indices follow the paper's convention:
 
 * index 0  — the fall-back group G0 (``<*,*,...>``),
 * index i>0 — the group anchored at ``centroids[i - 1]``.
+
+Two implementations share one head (packing + the OD matrix):
+
+* :meth:`GroupAssigner.assign` — the fully-array path: per-row argmin
+  over the WD matrix masked to the OD-tied centroids, vectorised
+  multiplicity counts, and **one** batched RNG draw for the residual
+  WD ties of the whole batch;
+* :meth:`GroupAssigner.assign_reference` — the retained seed loop
+  (per-row ``flatnonzero`` + ``rng.choice``), kept as the parity oracle
+  for ``tests/test_conversion_parity.py`` and the conversion benchmark.
+
+The two are **bit-identical** — same group indices, same tie counters,
+and the same RNG stream consumption: ``rng.choice(c)`` draws exactly
+``rng.integers(0, len(c))``, and a broadcast ``rng.integers(0, counts)``
+consumes the bit stream like the equivalent sequence of scalar draws, so
+results do not depend on how a dataset is blocked into ``assign`` calls.
 """
 
 from __future__ import annotations
@@ -18,11 +34,14 @@ import numpy as np
 
 from repro.exceptions import ConfigurationError
 from repro.pivots import (
+    centroid_membership,
     decay_weights,
-    overlap_distance_matrix,
+    overlap_distance_matrix_reference,
     pack_pivot_sets,
     rank_insensitive,
-    weight_distance_matrix,
+    total_weight,
+    wd_tie_tolerance,
+    weight_distance_matrix_reference,
 )
 
 __all__ = ["GroupAssigner", "AssignmentResult"]
@@ -82,11 +101,167 @@ class GroupAssigner:
         self._packed_centroids = pack_pivot_sets(
             np.asarray(self.centroids, dtype=np.int64), n_pivots
         )
+        # WD ties are detected relative to the Total Weight: WD values are
+        # differences from TW, so their float error scales with ulp(TW) and
+        # a fixed absolute 1e-12 mis-classifies ties under large weights.
+        self._total_weight = total_weight(self.weights)
+        self._wd_tol = wd_tie_tolerance(self._total_weight)
+        # (n_pivots, k) float membership table: the pair-wise WD kernel of
+        # the fully-array path gathers from it rank by rank, producing the
+        # exact per-element terms of weight_distance_matrix (same shared
+        # unpacking — the bit-parity guarantee depends on it).
+        self._membership = centroid_membership(self._packed_centroids, n_pivots)
+        # Reusable (d, k) workspace of the OD stage, one buffer per role:
+        # the streamed conversion calls assign with one fixed block size,
+        # so the matrices are allocated (and page-faulted) exactly once; a
+        # batch of a different size simply reallocates, so varying batch
+        # sizes (e.g. repeated appends) never accumulate dead buffers.
+        self._workspace: dict[str, np.ndarray] = {}
+
+    def _buffer(self, name: str, shape: tuple[int, ...], dtype) -> np.ndarray:
+        buf = self._workspace.get(name)
+        if buf is None or buf.shape != shape or buf.dtype != np.dtype(dtype):
+            buf = np.empty(shape, dtype=dtype)
+            self._workspace[name] = buf
+        return buf
+
+    # -- shared head ---------------------------------------------------------------
+
+    def _od_head(
+        self, ranked: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Validation + the OD-matrix stage of the fully-array path.
+
+        Returns ``(ranked, out, is_best, rows)`` where ``out`` already
+        holds the fall-back zeros and the unique-smallest-OD winners
+        (Algorithm 1 lines 3-7) and ``rows`` are the OD-tied row indices.
+        """
+        ranked = np.asarray(ranked, dtype=np.int64)
+        if ranked.ndim != 2 or ranked.shape[1] != self.prefix_length:
+            raise ConfigurationError(
+                f"expected (d, {self.prefix_length}) ranked signatures"
+            )
+        m = self.prefix_length
+        d = ranked.shape[0]
+        k = self._packed_centroids.shape[0]
+        # The bitset encoding is order-free, so the ranked rows pack
+        # directly — no rank_insensitive sort pass needed.
+        packed = pack_pivot_sets(ranked, self.n_pivots)
+
+        # Pivot-set intersection sizes, accumulated word by word into the
+        # reusable workspace (same arithmetic as overlap_distance_matrix;
+        # OD = m - intersection, so comparisons below run on intersections
+        # directly with flipped signs).
+        cents = self._packed_centroids
+        and_buf = self._buffer("and", (d, k), np.uint64)
+        # Intersections are bounded by m (each signature sets m bits), so
+        # uint8 accumulation is safe for any realistic prefix length.
+        inter = self._buffer(
+            "inter", (d, k), np.uint8 if m < 256 else np.uint16
+        )
+        np.bitwise_and(packed[:, 0][:, None], cents[:, 0][None, :], out=and_buf)
+        np.bitwise_count(and_buf, out=inter)
+        if cents.shape[1] > 1:
+            cnt_buf = self._buffer("cnt", (d, k), np.uint8)
+            for word in range(1, cents.shape[1]):
+                np.bitwise_and(
+                    packed[:, word][:, None], cents[:, word][None, :],
+                    out=and_buf,
+                )
+                np.bitwise_count(and_buf, out=cnt_buf)
+                inter += cnt_buf
+
+        best_inter = np.max(inter, axis=1)
+        out = np.zeros(d, dtype=np.int64)
+
+        # Lines 3-5: zero overlap with every centroid -> fall-back group 0.
+        fallback = best_inter == 0
+        # Lines 6-7: unique smallest OD (= largest intersection).
+        is_best = self._buffer("is_best", (d, k), bool)
+        np.equal(inter, best_inter[:, None], out=is_best)
+        n_best = is_best.sum(axis=1)
+        unique = (~fallback) & (n_best == 1)
+        first_best = is_best.argmax(axis=1)
+        out[unique] = first_best[unique] + 1
+
+        tied = (~fallback) & (n_best > 1)
+        rows = np.flatnonzero(tied)
+        return ranked, out, is_best, rows
+
+    # -- implementations -----------------------------------------------------------
 
     def assign(self, ranked: np.ndarray) -> AssignmentResult:
         """Assign a batch of rank-sensitive signatures to groups.
 
         Returns group indices with 0 = fall-back, i>0 = ``centroids[i-1]``.
+        """
+        ranked, out, is_best, rows = self._od_head(ranked)
+        od_ties = int(rows.size)
+        wd_ties = 0
+        if od_ties:
+            # Lines 8-14: OD ties -> Weight Distance, then random.  WD is
+            # evaluated only at the actual (tied row, tied centroid) pairs
+            # — row-major, so each tied row owns one contiguous pair
+            # segment — with per-element terms identical to the full
+            # weight_distance_matrix.
+            sub = is_best[rows]
+            prow, pcol = np.nonzero(sub)
+            sig_pairs = ranked[rows][prow]  # (pairs, m) pivot ids
+            matched = np.zeros(prow.shape[0], dtype=np.float64)
+            membership = self._membership
+            for rank in range(self.prefix_length):
+                matched += self.weights[rank] * membership[
+                    sig_pairs[:, rank], pcol
+                ]
+            wd_pair = self._total_weight - matched
+
+            counts = sub.sum(axis=1)
+            offsets = np.zeros(counts.shape[0], dtype=np.int64)
+            np.cumsum(counts[:-1], out=offsets[1:])
+            best_wd = np.minimum.reduceat(wd_pair, offsets)
+            flags = wd_pair <= best_wd[prow] + self._wd_tol
+            n_tied = np.add.reduceat(flags.astype(np.int64), offsets)
+
+            single = n_tied == 1
+            # First flagged pair of each segment == the unique winner for
+            # single-tie rows (pairs are in ascending centroid order).
+            pair_ids = np.where(flags, np.arange(prow.shape[0]), prow.shape[0])
+            first = np.minimum.reduceat(pair_ids, offsets)
+            out[rows[single]] = pcol[first[single]] + 1
+
+            multi = ~single
+            wd_ties = int(multi.sum())
+            if wd_ties:
+                # One batched draw for every residually-tied row; the
+                # broadcast integers(0, counts) consumes the generator
+                # exactly like the reference's per-row rng.choice calls.
+                draws = self.rng.integers(0, n_tied[multi])
+                # Rank of each flagged pair inside its row segment, then
+                # select the (draw+1)-th flagged pair per multi row.
+                inclusive = np.cumsum(flags)
+                base = inclusive[offsets] - flags[offsets]
+                within = inclusive - base[prow]
+                target = np.zeros(counts.shape[0], dtype=np.int64)
+                target[multi] = draws + 1
+                chosen = flags & (within == target[prow])
+                out[rows[prow[chosen]]] = pcol[chosen] + 1
+        return AssignmentResult(out, od_ties, wd_ties)
+
+    def assign_reference(self, ranked: np.ndarray) -> AssignmentResult:
+        """The retained seed implementation: per-row WD tie-break loop.
+
+        A faithful transcription of the pre-vectorisation ``assign`` —
+        rank-insensitive sort before packing, the seed 3-D broadcast OD
+        kernel (:func:`overlap_distance_matrix_reference`), the full-width
+        WD matrix through the seed
+        :func:`weight_distance_matrix_reference` kernel, and a Python loop
+        with per-row ``flatnonzero`` + ``rng.choice`` draws (only the WD
+        tie tolerance follows the relative-tolerance fix).  Keeping the
+        seed kernels makes the parity suite adversarial: two independent
+        implementations must agree bit for bit.
+        Bit-identical to :meth:`assign` in group indices, tie counters and
+        RNG stream consumption; kept as the parity oracle and the
+        conversion-benchmark baseline.
         """
         ranked = np.asarray(ranked, dtype=np.int64)
         if ranked.ndim != 2 or ranked.shape[1] != self.prefix_length:
@@ -96,7 +271,7 @@ class GroupAssigner:
         m = self.prefix_length
         unranked = rank_insensitive(ranked)
         packed = pack_pivot_sets(unranked, self.n_pivots)
-        od = overlap_distance_matrix(packed, self._packed_centroids, m)
+        od = overlap_distance_matrix_reference(packed, self._packed_centroids, m)
 
         best_od = od.min(axis=1)
         out = np.zeros(ranked.shape[0], dtype=np.int64)
@@ -115,13 +290,13 @@ class GroupAssigner:
         wd_ties = 0
         if od_ties:
             rows = np.flatnonzero(tied)
-            wd = weight_distance_matrix(
+            wd = weight_distance_matrix_reference(
                 ranked[rows], self._packed_centroids, self.n_pivots, self.weights
             )
             # Restrict to the OD-tied centroids per row.
             wd = np.where(is_best[rows], wd, np.inf)
             best_wd = wd.min(axis=1)
-            wd_best = wd <= best_wd[:, None] + 1e-12
+            wd_best = wd <= best_wd[:, None] + self._wd_tol
             n_wd_best = wd_best.sum(axis=1)
             for local, row in enumerate(rows):
                 candidates = np.flatnonzero(wd_best[local])

@@ -84,6 +84,7 @@ def build_index_artifacts(
     dfs: SimulatedDFS | None = None,
     model: CostModel | None = None,
     redistribution: str = "flat",
+    conversion: str = "fused",
 ) -> BuildArtifacts:
     """Run the full four-step construction workflow.
 
@@ -96,6 +97,16 @@ def build_index_artifacts(
         ``"legacy"`` is the original per-record descend loop, kept as the
         parity reference and benchmark baseline.  Both produce
         byte-identical partitions and identical simulated stage costs.
+    conversion:
+        Step-4 signature conversion: ``"fused"`` (default) streams the
+        dataset through PAA -> ``permutation_prefixes`` -> vectorised
+        ``assign`` in large row blocks written into preallocated output
+        arrays; ``"legacy"`` is the original per-input-chunk loop over the
+        retained reference assigner (per-row WD tie-break), kept as the
+        parity reference and the baseline of
+        ``benchmarks/bench_conversion.py``.  Both produce bit-identical
+        signatures, group indices and RNG stream positions, so the
+        partitions they feed are byte-identical too.
     """
     import time
 
@@ -103,6 +114,8 @@ def build_index_artifacts(
         raise ConfigurationError(
             f"unknown redistribution mode {redistribution!r}"
         )
+    if conversion not in ("fused", "legacy"):
+        raise ConfigurationError(f"unknown conversion mode {conversion!r}")
     t0 = time.perf_counter()
     if dataset.length < config.word_length:
         raise ConfigurationError(
@@ -175,6 +188,7 @@ def build_index_artifacts(
         capacity=capacity,
         epsilon=config.epsilon,
         max_centroids=config.max_centroids,
+        n_pivots=r,
     )
     # Driver-side work on the aggregated signature list: its size grows
     # with the number of *distinct* signatures, not the data volume, so it
@@ -255,27 +269,27 @@ def build_index_artifacts(
         min_tasks=len(chunks),
     )
 
-    # Full-data signature conversion + group assignment, one vectorised
-    # pass per input chunk (identical work and RNG stream either way).
+    # Full-data signature conversion + group assignment.  Both modes
+    # consume the RNG stream identically: tie-break draws depend only on
+    # the global row order, never on how rows are blocked into assign
+    # calls, so the fused path is free to use larger blocks than the
+    # input chunking.
     t_convert = time.perf_counter()
-    ranked_parts: list[np.ndarray] = []
-    gid_parts: list[np.ndarray] = []
-    for chunk in chunks:
-        paa = paa_transform(chunk.values, w)
-        ranked = permutation_prefixes(paa, pivots, m)
-        ranked_parts.append(ranked)
-        gid_parts.append(assigner.assign(ranked).group_indices)
+    if conversion == "fused":
+        ranked_all, gids_all = _convert_fused(dataset, pivots, assigner, w, m)
+    else:
+        ranked_all, gids_all = _convert_legacy(chunks, pivots, assigner, w, m)
     wall_convert = time.perf_counter() - t_convert
 
     # Re-distribution of every record into its physical partition.
     t_redist = time.perf_counter()
     if redistribution == "flat":
         written_bytes, n_written = _redistribute_flat(
-            dataset, skeleton, ranked_parts, gid_parts, dfs
+            dataset, skeleton, ranked_all, gids_all, dfs
         )
     else:
         written_bytes, n_written = _redistribute_legacy(
-            dataset, groups, ranked_parts, gid_parts, dfs
+            dataset, groups, ranked_all, gids_all, dfs
         )
     wall_redistribute = time.perf_counter() - t_redist
 
@@ -305,11 +319,72 @@ def build_index_artifacts(
     )
 
 
+def _convert_fused(
+    dataset: SeriesDataset,
+    pivots: np.ndarray,
+    assigner: GroupAssigner,
+    word_length: int,
+    prefix_length: int,
+    block_rows: int = 4096,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Streamed full-data conversion into preallocated output arrays.
+
+    One PAA -> ``permutation_prefixes`` -> vectorised ``assign`` pass per
+    ``block_rows`` slice of the dataset, each stage writing straight into
+    the full-dataset ``(n, m)`` signature / ``(n,)`` group-index arrays —
+    no per-chunk list append, no final concatenate, and a block size
+    picked so every intermediate (distance matrix, OD workspace, WD
+    pairs) stays cache-resident: sweeps at the benchmark operating point
+    put the optimum at a few thousand rows, with >2x degradation by 64k
+    rows once the ``(d, k)`` matrices spill.
+    """
+    n = dataset.count
+    ranked_all = np.empty((n, prefix_length), dtype=np.int32)
+    gids_all = np.empty(n, dtype=np.int64)
+    for start in range(0, n, block_rows):
+        end = min(n, start + block_rows)
+        paa = paa_transform(dataset.values[start:end], word_length)
+        block = ranked_all[start:end]
+        permutation_prefixes(paa, pivots, prefix_length, out=block)
+        gids_all[start:end] = assigner.assign(block).group_indices
+    return ranked_all, gids_all
+
+
+def _convert_legacy(
+    chunks,
+    pivots: np.ndarray,
+    assigner: GroupAssigner,
+    word_length: int,
+    prefix_length: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """The retained per-input-chunk conversion loop (parity reference).
+
+    One pass per input chunk through the reference assigner (per-row WD
+    tie-break), accumulating per-chunk arrays that are concatenated at the
+    end — the seed implementation, kept as the conversion baseline.
+    """
+    ranked_parts: list[np.ndarray] = []
+    gid_parts: list[np.ndarray] = []
+    for chunk in chunks:
+        paa = paa_transform(chunk.values, word_length)
+        ranked = permutation_prefixes(paa, pivots, prefix_length)
+        ranked_parts.append(ranked)
+        gid_parts.append(assigner.assign_reference(ranked).group_indices)
+    ranked_all = (
+        ranked_parts[0] if len(ranked_parts) == 1
+        else np.concatenate(ranked_parts, axis=0)
+    )
+    gids_all = (
+        gid_parts[0] if len(gid_parts) == 1 else np.concatenate(gid_parts)
+    )
+    return ranked_all, gids_all
+
+
 def _redistribute_flat(
     dataset: SeriesDataset,
     skeleton: IndexSkeleton,
-    ranked_parts: list[np.ndarray],
-    gid_parts: list[np.ndarray],
+    ranked_all: np.ndarray,
+    gids_all: np.ndarray,
     dfs: SimulatedDFS,
 ) -> tuple[int, int]:
     """Bulk Step-4 redistribution over the CSR-compiled tries.
@@ -324,13 +399,6 @@ def _redistribute_flat(
     no sorted copy of the dataset.
     """
     router = skeleton.flat_router()
-    ranked_all = (
-        ranked_parts[0] if len(ranked_parts) == 1
-        else np.concatenate(ranked_parts, axis=0)
-    )
-    gids_all = (
-        gid_parts[0] if len(gid_parts) == 1 else np.concatenate(gid_parts)
-    )
     kid_of = router.route(ranked_all, gids_all)
     order, parts = router.partition_layout(kid_of)
     written_bytes = 0
@@ -348,28 +416,23 @@ def _redistribute_flat(
 def _redistribute_legacy(
     dataset: SeriesDataset,
     groups: list[GroupEntry],
-    ranked_parts: list[np.ndarray],
-    gid_parts: list[np.ndarray],
+    ranked_all: np.ndarray,
+    gids_all: np.ndarray,
     dfs: SimulatedDFS,
 ) -> tuple[int, int]:
     """The seed per-record redistribution loop (parity reference/baseline)."""
     clusters: dict[int, dict[str, list[int]]] = {}
-    row_offset = 0
-    for ranked, gids in zip(ranked_parts, gid_parts):
-        for local in range(ranked.shape[0]):
-            gid = int(gids[local])
-            entry = groups[gid]
-            node = entry.trie.descend(ranked[local])
-            if node.is_leaf:
-                pid = next(iter(node.partition_ids))
-                key = cluster_key(gid, node.path)
-            else:
-                pid = entry.default_partition
-                key = cluster_key(gid, None)
-            clusters.setdefault(pid, {}).setdefault(key, []).append(
-                row_offset + local
-            )
-        row_offset += ranked.shape[0]
+    for row in range(ranked_all.shape[0]):
+        gid = int(gids_all[row])
+        entry = groups[gid]
+        node = entry.trie.descend(ranked_all[row])
+        if node.is_leaf:
+            pid = next(iter(node.partition_ids))
+            key = cluster_key(gid, node.path)
+        else:
+            pid = entry.default_partition
+            key = cluster_key(gid, None)
+        clusters.setdefault(pid, {}).setdefault(key, []).append(row)
 
     written_bytes = 0
     for pid in sorted(clusters):

@@ -61,7 +61,7 @@ from repro.core.skeleton import (
 )
 from repro.core.trie import TrieNode
 from repro.exceptions import ConfigurationError
-from repro.pivots import decay_weights, permutation_prefixes
+from repro.pivots import decay_weights, permutation_prefixes, wd_tie_tolerance
 from repro.series import (
     SeriesDataset,
     knn_bruteforce,
@@ -127,11 +127,20 @@ class ClimberIndex:
         config: ClimberConfig | None = None,
         dfs=None,
         model: CostModel | None = None,
+        conversion: str = "fused",
     ) -> "ClimberIndex":
-        """Build the index (paper Fig. 6); see :class:`ClimberConfig`."""
+        """Build the index (paper Fig. 6); see :class:`ClimberConfig`.
+
+        ``conversion`` selects the Step-4 signature-conversion pipeline
+        (``"fused"`` streamed blocks / ``"legacy"`` per-chunk reference);
+        both yield bit-identical indexes — see
+        :func:`~repro.core.builder.build_index_artifacts`.
+        """
         config = config or ClimberConfig()
         model = model or CostModel()
-        artifacts = build_index_artifacts(dataset, config, dfs=dfs, model=model)
+        artifacts = build_index_artifacts(
+            dataset, config, dfs=dfs, model=model, conversion=conversion
+        )
         return cls(artifacts, config, model)
 
     # -- incremental maintenance ------------------------------------------------
@@ -423,7 +432,10 @@ class ClimberIndex:
         Only groups at the strictly smallest OD compete for primary; any
         slack candidates exist purely for adaptive expansion.
         """
-        return _select_primary(candidates, self._rng)
+        return _select_primary(
+            candidates, self._rng,
+            wd_tol=wd_tie_tolerance(self._routing.total_weight),
+        )
 
     # -- node selection per variant ----------------------------------------------------
 

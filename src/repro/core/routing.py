@@ -38,6 +38,7 @@ from repro.pivots import (
     pack_pivot_sets,
     routing_distances,
     total_weight,
+    wd_tie_tolerance,
     weight_distance,
     weight_distance_matrix,
     words_for,
@@ -249,7 +250,9 @@ class RoutingTable:
 
 
 def select_primary(
-    candidates: list[GroupCandidate], rng: np.random.Generator
+    candidates: list[GroupCandidate],
+    rng: np.random.Generator,
+    wd_tol: float | None = None,
 ) -> GroupCandidate:
     """Tie-breaking of Algorithm 3 lines 7-19: WD, path length, node size.
 
@@ -257,16 +260,23 @@ def select_primary(
     candidates exist purely for adaptive expansion.  Consumes one RNG draw
     iff the full cascade still leaves a tie — the same stream positions as
     the scalar implementation.
+
+    ``wd_tol`` is the WD tie tolerance; callers that know the Total Weight
+    pass :func:`repro.pivots.wd_tie_tolerance` of it, otherwise the
+    tolerance is anchored to the candidates' own WD scale (which reduces
+    to the historical absolute ``1e-12`` for unit-scale decay weights).
     """
     if not candidates:
         raise ConfigurationError("no candidate groups")
     # Candidate lists are tiny (usually 1-3 entries), so plain list
     # filtering beats array construction here; the heavy lifting already
     # happened in the OD/WD matrices these values came from.
+    if wd_tol is None:
+        wd_tol = wd_tie_tolerance(max(abs(c.wd) for c in candidates))
     best_od = min(c.od for c in candidates)
     tied = [c for c in candidates if c.od == best_od]
     best_wd = min(c.wd for c in tied)
-    tied = [c for c in tied if c.wd <= best_wd + 1e-12]
+    tied = [c for c in tied if c.wd <= best_wd + wd_tol]
     if len(tied) > 1:
         longest = max(c.path_len for c in tied)
         tied = [c for c in tied if c.path_len == longest]

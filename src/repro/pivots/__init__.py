@@ -2,15 +2,19 @@
 
 from repro.pivots.distances import (
     DecayKind,
+    centroid_membership,
     decay_weights,
     kendall_tau,
     overlap_distance,
     overlap_distance_matrix,
+    overlap_distance_matrix_reference,
     routing_distances,
     spearman_footrule,
     total_weight,
+    wd_tie_tolerance,
     weight_distance,
     weight_distance_matrix,
+    weight_distance_matrix_reference,
 )
 from repro.pivots.permutation import (
     full_permutations,
@@ -40,11 +44,15 @@ __all__ = [
     "words_for",
     "overlap_distance",
     "overlap_distance_matrix",
+    "overlap_distance_matrix_reference",
     "routing_distances",
     "decay_weights",
+    "centroid_membership",
     "total_weight",
     "weight_distance",
     "weight_distance_matrix",
+    "weight_distance_matrix_reference",
+    "wd_tie_tolerance",
     "spearman_footrule",
     "kendall_tau",
     "DecayKind",

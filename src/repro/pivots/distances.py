@@ -29,11 +29,15 @@ from repro.pivots.signatures import pack_pivot_sets, words_for
 __all__ = [
     "overlap_distance",
     "overlap_distance_matrix",
+    "overlap_distance_matrix_reference",
     "routing_distances",
     "decay_weights",
     "total_weight",
+    "centroid_membership",
     "weight_distance",
     "weight_distance_matrix",
+    "weight_distance_matrix_reference",
+    "wd_tie_tolerance",
     "spearman_footrule",
     "kendall_tau",
     "DecayKind",
@@ -81,6 +85,32 @@ def overlap_distance_matrix(
     -------
     numpy.ndarray
         ``(d, k)`` uint16 matrix of Overlap Distances.
+    """
+    a = np.asarray(packed_objects, dtype=np.uint64)
+    b = np.asarray(packed_centroids, dtype=np.uint64)
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[1]:
+        raise ConfigurationError("packed signature word counts differ")
+    # One 2-D AND + popcount per bitset word, accumulated in uint16 —
+    # never materialising the (d, k, words) 3-D broadcast, whose uint64
+    # temporaries dominated the batch cost as soon as r exceeded 64.
+    inter = np.bitwise_count(a[:, 0][:, None] & b[:, 0][None, :]).astype(
+        np.uint16
+    )
+    for word in range(1, a.shape[1]):
+        inter += np.bitwise_count(a[:, word][:, None] & b[:, word][None, :])
+    return (np.uint16(prefix_length) - inter).astype(np.uint16)
+
+
+def overlap_distance_matrix_reference(
+    packed_objects: np.ndarray, packed_centroids: np.ndarray, prefix_length: int
+) -> np.ndarray:
+    """The seed batch-OD kernel, retained as the parity oracle/baseline.
+
+    One ``(d, k, words)`` 3-D broadcast AND + popcount + word-axis sum —
+    bit-identical to the word-sliced :func:`overlap_distance_matrix` (the
+    randomized kernel-parity suite proves it).  The conversion benchmark's
+    ``legacy`` path runs on this kernel, so before/after numbers measure
+    the whole seed pipeline.
     """
     a = np.asarray(packed_objects, dtype=np.uint64)
     b = np.asarray(packed_centroids, dtype=np.uint64)
@@ -229,12 +259,63 @@ def weight_distance_matrix(
     tw = total_weight(w)
     d, m = arr.shape
     k = cs.shape[0]
+    # Unpack the centroid bitsets once into a (n_pivots, k) float membership
+    # table, then accumulate rank by rank: each step gathers one (d, k)
+    # slab by the objects' rank-j pivot ids and adds ``w[j] * membership``.
+    # Every added term is exactly ``w[j]`` or ``0.0`` and the per-element
+    # addition order (ascending rank, zeros included) matches the scalar
+    # :func:`weight_distance`, so results stay bit-identical — without the
+    # (k, d, m) uint64 shift/popcount temporaries of the old kernel.
+    membership = centroid_membership(cs, n_pivots)
+    matched = np.zeros((d, k), dtype=np.float64)
+    for rank in range(m):
+        matched += w[rank] * membership[arr[:, rank]]
+    return tw - matched
+
+
+def centroid_membership(packed_centroids: np.ndarray, n_pivots: int) -> np.ndarray:
+    """``(n_pivots, k)`` float 0/1 table: pivot p in centroid c.
+
+    The gather table behind the batch and pair-wise WD kernels — both must
+    read the *same* unpacking for the bit-parity guarantee to hold, hence
+    one shared helper.
+    """
+    cs = np.asarray(packed_centroids, dtype=np.uint64)
+    pivot_ids = np.arange(n_pivots, dtype=np.int64)
+    words = cs[:, pivot_ids >> 6]  # (k, n_pivots)
+    bits = (words >> (pivot_ids & 63).astype(np.uint64)) & np.uint64(1)
+    return bits.astype(np.float64).T
+
+
+def weight_distance_matrix_reference(
+    ranked: np.ndarray,
+    centroid_sets: np.ndarray,
+    n_pivots: int,
+    weights: np.ndarray,
+) -> np.ndarray:
+    """The seed batch-WD kernel, retained as the parity oracle/baseline.
+
+    Chunked uint64 shift/popcount extraction with rank-sequential
+    accumulation — bit-identical to :func:`weight_distance_matrix` (the
+    randomized kernel-parity suite proves it) and to the scalar
+    :func:`weight_distance`.  The conversion benchmark's ``legacy`` path
+    runs on this kernel, so before/after numbers measure the whole seed
+    pipeline.
+    """
+    arr = np.asarray(ranked, dtype=np.int64)
+    w = np.asarray(weights, dtype=np.float64)
+    if arr.ndim != 2 or arr.shape[1] != w.shape[0]:
+        raise ConfigurationError("ranked shape does not match weights length")
+    cs = np.asarray(centroid_sets)
+    if cs.dtype != np.uint64:
+        cs = pack_pivot_sets(cs, n_pivots)
+    if cs.shape[1] != words_for(n_pivots):
+        raise ConfigurationError("packed centroid width does not match n_pivots")
+    tw = total_weight(w)
+    d, m = arr.shape
+    k = cs.shape[0]
     matched = np.zeros((d, k), dtype=np.float64)
     one = np.uint64(1)
-    # One-shot bit extraction, then rank-sequential accumulation.  The
-    # per-element addition order (ascending rank, zeros included) matches
-    # the scalar :func:`weight_distance` exactly, so results are
-    # bit-identical; chunking only bounds the (k, chunk, m) temporary.
     chunk = max(1, (1 << 22) // max(1, k * m))
     for start in range(0, d, chunk):
         rows = arr[start:start + chunk]
@@ -246,6 +327,20 @@ def weight_distance_matrix(
         for rank in range(m):
             out += ranks[rank]
     return tw - matched
+
+
+def wd_tie_tolerance(total: float) -> float:
+    """Weight-Distance tie tolerance, relative to the Total Weight.
+
+    WD values are differences from the Total Weight, so their rounding
+    error scales with ``ulp(TW)``, not with the (possibly tiny) WD value
+    itself.  A fixed absolute epsilon mis-classifies mathematically-tied
+    centroids as soon as the weights are large; an epsilon relative to the
+    WD value collapses when the best WD is near zero.  Anchoring the
+    tolerance to ``max(1, |TW|)`` handles both regimes and reduces to the
+    historical ``1e-12`` for the paper's unit-scale decay weights.
+    """
+    return 1e-12 * max(1.0, abs(float(total)))
 
 
 # ---------------------------------------------------------------------------

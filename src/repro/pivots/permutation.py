@@ -13,9 +13,10 @@ computed with one distance matrix and one partial sort.
 from __future__ import annotations
 
 import numpy as np
+from scipy.spatial.distance import cdist
 
 from repro.exceptions import ConfigurationError
-from repro.series import as_matrix, squared_euclidean
+from repro.series import as_matrix
 
 __all__ = ["pivot_distance_matrix", "full_permutations", "permutation_prefixes"]
 
@@ -24,7 +25,10 @@ def pivot_distance_matrix(paa: np.ndarray, pivots: np.ndarray) -> np.ndarray:
     """Squared Euclidean distances from every object to every pivot.
 
     Squared distances order identically to true distances, so ranking uses
-    them directly and skips ``d * r`` square roots.
+    them directly and skips ``d * r`` square roots.  Computed by scipy's
+    C ``cdist`` kernel (direct per-pair differences — no ``(d, r)``
+    norm-expansion temporaries, and at least as accurate as the
+    ``||a||^2 - 2ab + ||b||^2`` form it replaced).
     """
     p = as_matrix(pivots)
     q = as_matrix(paa)
@@ -32,7 +36,7 @@ def pivot_distance_matrix(paa: np.ndarray, pivots: np.ndarray) -> np.ndarray:
         raise ConfigurationError(
             f"PAA word length {q.shape[1]} != pivot word length {p.shape[1]}"
         )
-    return squared_euclidean(q, p)
+    return cdist(q, p, "sqeuclidean")
 
 
 def full_permutations(paa: np.ndarray, pivots: np.ndarray) -> np.ndarray:
@@ -53,7 +57,10 @@ def full_permutations(paa: np.ndarray, pivots: np.ndarray) -> np.ndarray:
 
 
 def permutation_prefixes(
-    paa: np.ndarray, pivots: np.ndarray, prefix_length: int
+    paa: np.ndarray,
+    pivots: np.ndarray,
+    prefix_length: int,
+    out: np.ndarray | None = None,
 ) -> np.ndarray:
     """Pivot Permutation Prefixes (Def. 5) of every object.
 
@@ -61,31 +68,53 @@ def permutation_prefixes(
     ----------
     prefix_length:
         ``m`` in the paper; must satisfy ``1 <= m <= r``.
+    out:
+        Optional preallocated ``(d, m)`` integer output the signatures are
+        written into (the builder's streamed conversion passes slices of
+        one full-dataset array); allocated fresh when omitted.
 
     Returns
     -------
     numpy.ndarray
-        ``(d, m)`` int32 matrix of the ``m`` nearest pivot ids per object,
-        ordered by ascending distance (rank-sensitive order).
+        ``(d, m)`` int32 matrix (or ``out``) of the ``m`` nearest pivot
+        ids per object, ordered by ascending distance (rank-sensitive
+        order).
     """
     d2 = pivot_distance_matrix(paa, pivots)
     r = d2.shape[1]
     m = int(prefix_length)
     if not 1 <= m <= r:
         raise ConfigurationError(f"prefix_length must be in [1, {r}], got {m}")
+    if out is not None and out.shape != (d2.shape[0], m):
+        raise ConfigurationError(
+            f"out must have shape ({d2.shape[0]}, {m}), got {out.shape}"
+        )
     if m == r:
-        return full_permutations(paa, pivots)
-    # Partial selection first (cheap), then an exact sort of just the top-m.
-    part = np.argpartition(d2, m - 1, axis=1)[:, :m]
+        ranked = full_permutations(paa, pivots)
+        if out is None:
+            return ranked
+        out[...] = ranked
+        return out
+    # Partial selection of the m+1 smallest (cheap), then an exact sort of
+    # just that candidate block.  Selecting one extra element makes the
+    # tie-ambiguity test local: the boundary (m-th smallest) distance is
+    # ambiguous iff the (m+1)-th smallest equals it — no full-width
+    # comparison sweep over d2 needed.
+    part = np.argpartition(d2, m, axis=1)[:, : m + 1]
     vals = np.take_along_axis(d2, part, axis=1)
     order = np.lexsort((part, vals), axis=1)
-    ranked = np.take_along_axis(part, order, axis=1)
+    ranked = np.take_along_axis(part, order, axis=1)[:, :m]
     # argpartition may split ties at the m-th distance arbitrarily; repair
     # rows where the boundary is ambiguous so tie-breaking is always by id.
-    boundary = vals.max(axis=1)
-    ambiguous = (d2 <= boundary[:, None]).sum(axis=1) > m
+    # Only the boundary pair (positions m-1 and m in sorted order) decides
+    # ambiguity, so just those two columns are gathered.
+    vboundary = np.take_along_axis(vals, order[:, m - 1:], axis=1)
+    ambiguous = vboundary[:, 1] <= vboundary[:, 0]
     if np.any(ambiguous):
         rows = np.flatnonzero(ambiguous)
         sub = full_permutations(paa[rows], pivots)[:, :m]
         ranked[rows] = sub
-    return ranked.astype(np.int32)
+    if out is None:
+        return ranked.astype(np.int32)
+    out[...] = ranked
+    return out

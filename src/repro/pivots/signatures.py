@@ -68,6 +68,11 @@ def pack_pivot_sets(signatures: np.ndarray, n_pivots: int) -> np.ndarray:
             f"pivot id out of range [0, {n_pivots}) in signature matrix"
         )
     n_words = words_for(n_pivots)
+    if n_words == 1:
+        # Every id lands in the same word: one shift + OR-reduce along the
+        # signature axis, no fancy indexing at all.
+        bits = np.uint64(1) << arr.astype(np.uint64)
+        return np.bitwise_or.reduce(bits, axis=1).reshape(-1, 1)
     out = np.zeros((arr.shape[0], n_words), dtype=np.uint64)
     word_idx = arr >> 6
     bit = np.uint64(1) << (arr & 63).astype(np.uint64)

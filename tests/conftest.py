@@ -10,13 +10,51 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.core import ClimberConfig, ClimberIndex
 from repro.datasets import random_walk_dataset
 from repro.series import SeriesDataset, znormalize
+
+#: Configuration of the shared session-scoped index (`built_index`).
+#: Exposed via the ``std_index_config`` fixture so adopting modules can
+#: reference word length / capacity / prefix length without rebuilding.
+STD_INDEX_CONFIG = ClimberConfig(
+    word_length=8,
+    n_pivots=32,
+    prefix_length=6,
+    capacity=150,
+    sample_fraction=0.25,
+    n_input_partitions=16,
+    seed=3,
+)
 
 
 @pytest.fixture
 def rng() -> np.random.Generator:
     return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def std_index_config() -> ClimberConfig:
+    return STD_INDEX_CONFIG
+
+
+@pytest.fixture(scope="session")
+def std_index_dataset() -> SeriesDataset:
+    """The dataset behind the shared built index (3 000 series of len 64)."""
+    return random_walk_dataset(3000, 64, seed=7)
+
+
+@pytest.fixture(scope="session")
+def built_index(std_index_dataset) -> ClimberIndex:
+    """One CLIMBER index shared by every read-only integration module.
+
+    Built once per session; modules that only *query* or *inspect* the
+    index (core index/describe/query-internals suites) adopt it instead
+    of each rebuilding their own, which used to dominate tier-1 wall
+    time.  Tests that mutate the index (append/persistence round-trips
+    with custom storage) must keep building their own.
+    """
+    return ClimberIndex.build(std_index_dataset, STD_INDEX_CONFIG)
 
 
 @pytest.fixture(scope="session")

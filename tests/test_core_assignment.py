@@ -102,6 +102,53 @@ class TestGroupAssignerGeneral:
         assert out.min() >= 0
         assert out.max() <= 8
 
+    def test_wd_tie_tolerance_is_relative(self):
+        """Large-magnitude weights: mathematically tied WDs must tie.
+
+        The object's signature is (0, 1, 2, 3, 4); centroid A holds its
+        rank-{0,1,2} pivots, centroid B its rank-{0,3,4} pivots, so with
+        weights (1e16, 1, 1, 2, 0) both match exactly 1e16 + 2 in real
+        arithmetic — a genuine WD tie.  Float accumulation rounds A's sum
+        to 1e16 (ulp(1e16) = 2), leaving a spurious 2.0 gap that the old
+        absolute ``best_wd + 1e-12`` tolerance read as "not tied",
+        deterministically mis-assigning to B.  The relative tolerance
+        (anchored to the Total Weight) classifies the tie correctly and
+        consumes a seeded random draw.
+        """
+        weights = np.array([1e16, 1.0, 1.0, 2.0, 0.0])
+        centroids = [(0, 1, 2, 8, 9), (0, 3, 4, 8, 9)]
+        sig = np.array([[0, 1, 2, 3, 4]])
+
+        def result(seed):
+            assigner = GroupAssigner(centroids, 10, 5, weights=weights,
+                                     rng=np.random.default_rng(seed))
+            return assigner.assign(sig)
+
+        res = result(0)
+        assert res.od_ties_broken == 1  # both centroids share 3 pivots
+        assert res.wd_ties_broken == 1  # the tie is *detected*
+        assert res.group_indices[0] in (1, 2)
+        # A genuine random draw: across seeds both centroids are chosen
+        # (the old absolute tolerance picked B deterministically).
+        assert {result(s).group_indices[0] for s in range(12)} == {1, 2}
+        ref = GroupAssigner(centroids, 10, 5, weights=weights,
+                            rng=np.random.default_rng(0)).assign_reference(sig)
+        assert ref.wd_ties_broken == 1
+        assert ref.group_indices[0] == res.group_indices[0]
+
+    def test_reference_matches_vectorized_on_paper_example(self, paper_assigner):
+        batch = np.array([[3, 4, 1], [4, 2, 1], [7, 8, 9], [6, 2, 7]])
+        ref_assigner = GroupAssigner(
+            centroids=[(1, 2, 3), (2, 4, 5)], n_pivots=10, prefix_length=3,
+            weights=decay_weights(3, "exponential", 0.5),
+            rng=np.random.default_rng(0),
+        )
+        fast = paper_assigner.assign(batch)
+        ref = ref_assigner.assign_reference(batch)
+        np.testing.assert_array_equal(fast.group_indices, ref.group_indices)
+        assert fast.od_ties_broken == ref.od_ties_broken
+        assert fast.wd_ties_broken == ref.wd_ties_broken
+
     def test_assignment_minimises_od(self, rng):
         """Every object's assigned group must achieve the minimum OD."""
         from repro.pivots import overlap_distance

@@ -4,17 +4,11 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core import ClimberConfig, ClimberIndex
-from repro.datasets import random_walk_dataset
-
 
 @pytest.fixture(scope="module")
-def index():
-    ds = random_walk_dataset(1200, 32, seed=8)
-    cfg = ClimberConfig(word_length=8, n_pivots=24, prefix_length=5,
-                        capacity=150, sample_fraction=0.3,
-                        n_input_partitions=8, seed=2)
-    return ClimberIndex.build(ds, cfg)
+def index(built_index):
+    # describe() is read-only: ride the shared session-scoped index.
+    return built_index
 
 
 class TestDescribe:

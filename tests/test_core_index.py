@@ -12,22 +12,14 @@ from repro.series import knn_bruteforce
 from repro.storage import SimulatedDFS
 
 
-SMALL_CFG = ClimberConfig(
-    word_length=8,
-    n_pivots=32,
-    prefix_length=6,
-    capacity=150,
-    sample_fraction=0.25,
-    n_input_partitions=16,
-    seed=3,
-)
+# The module rides the shared session-scoped index (``built_index`` in
+# conftest): same geometry the old module-local SMALL_CFG used, built
+# once for the whole suite; its config arrives via ``std_index_config``.
 
 
 @pytest.fixture(scope="module")
-def built():
-    ds = random_walk_dataset(3000, 64, seed=7)
-    idx = ClimberIndex.build(ds, SMALL_CFG)
-    return ds, idx
+def built(std_index_dataset, built_index):
+    return std_index_dataset, built_index
 
 
 class TestConfig:
@@ -71,11 +63,11 @@ class TestBuild:
         _, idx = built
         assert idx.skeleton.groups[0].is_fallback
 
-    def test_partitions_respect_soft_capacity(self, built):
+    def test_partitions_respect_soft_capacity(self, built, std_index_config):
         """Partition record counts should be near c; hard violations only via
         oversized leaves (soft constraint)."""
         _, idx = built
-        cap = SMALL_CFG.capacity
+        cap = std_index_config.capacity
         for pname in idx.dfs.list_partitions():
             part = idx.dfs.read_partition(pname)
             assert part.record_count <= 3 * cap
@@ -89,7 +81,7 @@ class TestBuild:
                 gid = int(key.split("/")[0][1:])
                 assert gid in valid_groups
 
-    def test_leaf_records_match_leaf_path(self, built):
+    def test_leaf_records_match_leaf_path(self, built, std_index_config):
         """Records in a leaf cluster must carry signatures matching the path."""
         from repro.pivots import permutation_prefixes
         from repro.series import paa_transform
@@ -103,8 +95,10 @@ class TestBuild:
                 continue
             path = tuple(int(p) for p in parts[1:])
             _, vals = part.read_cluster(key)
-            paa = paa_transform(vals, SMALL_CFG.word_length)
-            ranked = permutation_prefixes(paa, idx.pivots, SMALL_CFG.prefix_length)
+            paa = paa_transform(vals, std_index_config.word_length)
+            ranked = permutation_prefixes(
+                paa, idx.pivots, std_index_config.prefix_length
+            )
             for row in ranked:
                 assert tuple(row[: len(path)]) == path
 
@@ -157,15 +151,17 @@ class TestBuild:
 
 
 class TestQueryRouting:
-    def test_signature_matches_pivot_machinery(self, built):
+    def test_signature_matches_pivot_machinery(self, built, std_index_config):
         from repro.pivots import permutation_prefixes
         from repro.series import paa_transform
 
         ds, idx = built
         q = ds.values[17]
         sig = idx.query_signature(q)
-        paa = paa_transform(q.reshape(1, -1), SMALL_CFG.word_length)
-        expect = permutation_prefixes(paa, idx.pivots, SMALL_CFG.prefix_length)[0]
+        paa = paa_transform(q.reshape(1, -1), std_index_config.word_length)
+        expect = permutation_prefixes(
+            paa, idx.pivots, std_index_config.prefix_length
+        )[0]
         np.testing.assert_array_equal(sig, expect)
 
     def test_candidates_share_smallest_od(self, built):

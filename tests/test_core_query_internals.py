@@ -5,19 +5,13 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core import ClimberConfig, ClimberIndex, cluster_key
-from repro.datasets import random_walk_dataset
-
-
-CFG = ClimberConfig(word_length=8, n_pivots=48, prefix_length=6,
-                    capacity=120, sample_fraction=0.25,
-                    n_input_partitions=16, seed=13)
+from repro.core import ClimberIndex, cluster_key
 
 
 @pytest.fixture(scope="module")
-def built():
-    ds = random_walk_dataset(2500, 64, seed=21)
-    return ds, ClimberIndex.build(ds, CFG)
+def built(std_index_dataset, built_index):
+    # Query-internal checks are read-only: ride the shared session index.
+    return std_index_dataset, built_index
 
 
 class TestGroupCandidatesSlack:
@@ -32,10 +26,10 @@ class TestGroupCandidatesSlack:
             c.entry.group_id for c in slack
         }
 
-    def test_slack_never_includes_no_overlap_groups(self, built):
+    def test_slack_never_includes_no_overlap_groups(self, built, std_index_config):
         ds, idx = built
         sig = idx.query_signature(ds.values[7])
-        m = CFG.prefix_length
+        m = std_index_config.prefix_length
         for c in idx.group_candidates(sig, od_slack=m):
             assert c.od < m or c.entry.is_fallback
 

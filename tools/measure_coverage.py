@@ -1,0 +1,97 @@
+"""Line-coverage measurement for environments without pytest-cov.
+
+Runs the tier-1 pytest suite under a ``sys.settrace`` line collector
+restricted to ``src/repro`` and reports executed / executable lines per
+module and in total.  Executable lines come from compiling each source
+file and walking the code objects' ``co_lines()`` tables — the same
+definition coverage.py uses for statement coverage, so the number is
+directly comparable to the ``pytest-cov`` gate in CI (expect agreement
+within a few points; this tracer cannot see lines executed only at import
+time before tracing starts).
+
+Used to record the ``--cov-fail-under`` baseline in
+``.github/workflows/ci.yml``.
+
+Usage::
+
+    PYTHONPATH=src python tools/measure_coverage.py [pytest args...]
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC_ROOT = REPO_ROOT / "src" / "repro"
+
+
+def executable_lines(path: Path) -> set[int]:
+    """Line numbers holding executable statements, via code-object tables."""
+    code = compile(path.read_text(), str(path), "exec")
+    lines: set[int] = set()
+    stack = [code]
+    while stack:
+        obj = stack.pop()
+        lines.update(
+            line for _, _, line in obj.co_lines() if line is not None
+        )
+        stack.extend(
+            const for const in obj.co_consts if hasattr(const, "co_lines")
+        )
+    return lines
+
+
+def main() -> int:
+    import pytest
+
+    prefix = str(SRC_ROOT)
+    hit: dict[str, set[int]] = {}
+
+    def local_tracer(frame, event, arg):
+        if event == "line":
+            hit.setdefault(frame.f_code.co_filename, set()).add(frame.f_lineno)
+        return local_tracer
+
+    def global_tracer(frame, event, arg):
+        if event == "call" and frame.f_code.co_filename.startswith(prefix):
+            return local_tracer
+        return None
+
+    args = sys.argv[1:] or ["-x", "-q", str(REPO_ROOT / "tests")]
+    threading.settrace(global_tracer)
+    sys.settrace(global_tracer)
+    try:
+        exit_code = pytest.main(args)
+    finally:
+        sys.settrace(None)
+        threading.settrace(None)
+    if exit_code != 0:
+        print(f"pytest exited {exit_code}; coverage below reflects a "
+              "partial run", file=sys.stderr)
+
+    total_exec = total_hit = 0
+    rows = []
+    for path in sorted(SRC_ROOT.rglob("*.py")):
+        possible = executable_lines(path)
+        if not possible:
+            continue
+        covered = hit.get(str(path), set()) & possible
+        rows.append((str(path.relative_to(SRC_ROOT)), len(covered),
+                     len(possible)))
+        total_exec += len(possible)
+        total_hit += len(covered)
+
+    width = max(len(name) for name, _, _ in rows)
+    for name, covered, possible in rows:
+        print(f"{name:<{width}}  {covered:>5}/{possible:<5} "
+              f"{100.0 * covered / possible:6.1f}%")
+    print("-" * (width + 22))
+    print(f"{'TOTAL':<{width}}  {total_hit:>5}/{total_exec:<5} "
+          f"{100.0 * total_hit / total_exec:6.1f}%")
+    return int(exit_code)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
