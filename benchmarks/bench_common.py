@@ -18,6 +18,7 @@ records becomes r=32 / m=8 on ~6 000 records; K=500 becomes K=25;
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
 from repro.baselines import (
@@ -163,6 +164,28 @@ def build_dss(dataset: SeriesDataset, size_gb: float) -> DssScanner:
         n_partitions=N_INPUT_PARTITIONS,
         cost_scale=cost_scale_for(dataset, size_gb),
     )
+
+
+# ---------------------------------------------------------------------------
+# Environment stamp
+# ---------------------------------------------------------------------------
+
+def bench_environment(n_workers: int | None = None,
+                      executor: str = "thread") -> dict:
+    """Execution-environment stamp recorded in every BENCH artifact.
+
+    Wall-clock numbers are only interpretable next to the host's core
+    count and the worker configuration they ran under, so every benchmark
+    embeds this dict in its JSON payload.
+    """
+    from repro.core.parallel import N_WORKERS_ENV, resolve_n_workers
+
+    return {
+        "host_cpus": os.cpu_count() or 1,
+        "n_workers_env": os.environ.get(N_WORKERS_ENV) or None,
+        "resolved_n_workers": resolve_n_workers(n_workers),
+        "executor": executor,
+    }
 
 
 # ---------------------------------------------------------------------------

@@ -33,6 +33,7 @@ import argparse
 import json
 from pathlib import Path
 
+from bench_common import bench_environment
 from repro.core import ClimberConfig
 from repro.core.builder import build_index_artifacts
 from repro.datasets import make_dataset
@@ -146,6 +147,7 @@ def main() -> None:
 
     payload = {
         "smoke": args.smoke,
+        "environment": bench_environment(),
         "n_records": n,
         "series_length": length,
         "config": {

@@ -34,6 +34,7 @@ from pathlib import Path
 
 import numpy as np
 
+from bench_common import bench_environment
 from repro.core import ClimberConfig
 from repro.core.builder import build_index_artifacts
 from repro.datasets import make_dataset
@@ -155,6 +156,7 @@ def main() -> None:
 
     payload = {
         "smoke": args.smoke,
+        "environment": bench_environment(),
         "n_records": n,
         "series_length": length,
         "config": {

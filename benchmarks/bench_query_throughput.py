@@ -30,6 +30,7 @@ from pathlib import Path
 
 import numpy as np
 
+from bench_common import bench_environment
 from repro.core import ClimberConfig, ClimberIndex
 from repro.core.routing import (
     scalar_group_candidates,
@@ -211,6 +212,7 @@ def main() -> None:
 
     payload = {
         "smoke": args.smoke,
+        "environment": bench_environment(),
         "n_records": dataset.count,
         "n_groups": index.n_groups,
         "n_partitions": index.n_partitions,

@@ -33,6 +33,7 @@ from pathlib import Path
 
 import numpy as np
 
+from bench_common import bench_environment
 from repro.core import ClimberConfig, ClimberIndex
 from repro.datasets import random_walk_dataset, sample_queries
 from repro.storage import (
@@ -205,6 +206,7 @@ def main() -> None:
 
     payload = {
         "smoke": args.smoke,
+        "environment": bench_environment(),
         "n_partitions": len(parts),
         "clusters_per_partition": len(parts[0].cluster_keys()),
         "records_per_partition": parts[0].record_count,

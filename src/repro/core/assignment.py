@@ -23,10 +23,20 @@ and the same RNG stream consumption: ``rng.choice(c)`` draws exactly
 ``rng.integers(0, len(c))``, and a broadcast ``rng.integers(0, counts)``
 consumes the bit stream like the equivalent sequence of scalar draws, so
 results do not depend on how a dataset is blocked into ``assign`` calls.
+
+For the parallel build pipeline, ``assign`` additionally splits into a
+**deterministic core** (:meth:`GroupAssigner.assign_deferred` — pure
+array work, safe to run on any worker, RNG untouched) and a tiny
+**serial tail** (:meth:`GroupAssigner.resolve_ties` — the one batched
+draw for the block's residual WD ties).  Workers compute cores
+concurrently; the caller resolves tails in block order, so the RNG
+stream is consumed exactly as the serial path consumes it and results
+are bit-identical for every worker count.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -44,7 +54,15 @@ from repro.pivots import (
     weight_distance_matrix_reference,
 )
 
-__all__ = ["GroupAssigner", "AssignmentResult"]
+__all__ = ["GroupAssigner", "AssignmentResult", "PendingTies"]
+
+_OD_TILE_BYTES = 1 << 18
+"""Byte target for the OD sweep's uint64 AND workspace tile.  The sweep is
+memory-bound: at large row blocks the full ``(d, k)`` uint64 buffer spills
+every cache level and each popcount pass re-streams it from DRAM.  Tiling
+rows so one tile's AND buffer stays ~256 KB keeps the word loop resident
+in L2; the arithmetic is exact integer work, so tiling cannot change a
+single bit of the result (the kernel-parity suite checks anyway)."""
 
 
 @dataclass(frozen=True)
@@ -54,6 +72,25 @@ class AssignmentResult:
     group_indices: np.ndarray
     od_ties_broken: int
     wd_ties_broken: int
+
+
+@dataclass(frozen=True)
+class PendingTies:
+    """Residual WD ties of one ``assign_deferred`` block, awaiting the draw.
+
+    Everything here is a pure function of the block's data: which rows
+    remain tied after the WD cascade, how many candidates each has, and
+    the candidate centroid columns (ascending, concatenated row by row).
+    Resolution (:meth:`GroupAssigner.resolve_ties`) is the only part of
+    assignment that touches the RNG, so deferring it to the caller's
+    thread — in block order — keeps parallel assignment bit-identical to
+    serial.
+    """
+
+    rows: np.ndarray
+    n_tied: np.ndarray
+    cand_cols: np.ndarray
+    cand_offsets: np.ndarray
 
 
 class GroupAssigner:
@@ -111,18 +148,34 @@ class GroupAssigner:
         # exact per-element terms of weight_distance_matrix (same shared
         # unpacking — the bit-parity guarantee depends on it).
         self._membership = centroid_membership(self._packed_centroids, n_pivots)
-        # Reusable (d, k) workspace of the OD stage, one buffer per role:
-        # the streamed conversion calls assign with one fixed block size,
-        # so the matrices are allocated (and page-faulted) exactly once; a
-        # batch of a different size simply reallocates, so varying batch
-        # sizes (e.g. repeated appends) never accumulate dead buffers.
-        self._workspace: dict[str, np.ndarray] = {}
+        # Reusable workspace of the OD stage, one buffer per role, held
+        # per *thread*: the streamed conversion calls assign with one
+        # fixed block size, so each worker allocates (and page-faults) its
+        # matrices exactly once; concurrent assign calls from the parallel
+        # conversion pipeline never share a buffer.  A batch of a
+        # different size simply reallocates, so varying batch sizes (e.g.
+        # repeated appends) never accumulate dead buffers.
+        self._tls = threading.local()
+
+    def __getstate__(self) -> dict:
+        # Thread-local workspaces are address-space-bound scratch; a
+        # process-pool worker re-creates its own on first use.
+        state = self.__dict__.copy()
+        state["_tls"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._tls = threading.local()
 
     def _buffer(self, name: str, shape: tuple[int, ...], dtype) -> np.ndarray:
-        buf = self._workspace.get(name)
+        workspace = getattr(self._tls, "buffers", None)
+        if workspace is None:
+            workspace = self._tls.buffers = {}
+        buf = workspace.get(name)
         if buf is None or buf.shape != shape or buf.dtype != np.dtype(dtype):
             buf = np.empty(shape, dtype=dtype)
-            self._workspace[name] = buf
+            workspace[name] = buf
         return buf
 
     # -- shared head ---------------------------------------------------------------
@@ -151,25 +204,41 @@ class GroupAssigner:
         # Pivot-set intersection sizes, accumulated word by word into the
         # reusable workspace (same arithmetic as overlap_distance_matrix;
         # OD = m - intersection, so comparisons below run on intersections
-        # directly with flipped signs).
+        # directly with flipped signs).  The sweep runs in row *tiles*
+        # sized so the uint64 AND buffer stays L2-resident: one full-block
+        # buffer re-streams from DRAM on every popcount pass, which made
+        # this stage memory-bound at large d.  Exact integer work — the
+        # tiling is invisible in the results.
         cents = self._packed_centroids
-        and_buf = self._buffer("and", (d, k), np.uint64)
+        tile = max(32, _OD_TILE_BYTES // max(1, k * 8))
+        tile = min(tile, d) if d else 0
+        and_buf = self._buffer("and", (tile, k), np.uint64)
         # Intersections are bounded by m (each signature sets m bits), so
         # uint8 accumulation is safe for any realistic prefix length.
         inter = self._buffer(
             "inter", (d, k), np.uint8 if m < 256 else np.uint16
         )
-        np.bitwise_and(packed[:, 0][:, None], cents[:, 0][None, :], out=and_buf)
-        np.bitwise_count(and_buf, out=inter)
-        if cents.shape[1] > 1:
-            cnt_buf = self._buffer("cnt", (d, k), np.uint8)
+        cnt_buf = (
+            self._buffer("cnt", (tile, k), np.uint8)
+            if cents.shape[1] > 1 else None
+        )
+        for start in range(0, d, tile or 1):
+            end = min(d, start + tile)
+            rows_and = and_buf[: end - start]
+            rows_inter = inter[start:end]
+            np.bitwise_and(
+                packed[start:end, 0][:, None], cents[:, 0][None, :],
+                out=rows_and,
+            )
+            np.bitwise_count(rows_and, out=rows_inter)
             for word in range(1, cents.shape[1]):
+                rows_cnt = cnt_buf[: end - start]
                 np.bitwise_and(
-                    packed[:, word][:, None], cents[:, word][None, :],
-                    out=and_buf,
+                    packed[start:end, word][:, None], cents[:, word][None, :],
+                    out=rows_and,
                 )
-                np.bitwise_count(and_buf, out=cnt_buf)
-                inter += cnt_buf
+                np.bitwise_count(rows_and, out=rows_cnt)
+                rows_inter += rows_cnt
 
         best_inter = np.max(inter, axis=1)
         out = np.zeros(d, dtype=np.int64)
@@ -195,9 +264,27 @@ class GroupAssigner:
 
         Returns group indices with 0 = fall-back, i>0 = ``centroids[i-1]``.
         """
+        out, od_ties, pending = self.assign_deferred(ranked)
+        wd_ties = self.resolve_ties(out, pending)
+        return AssignmentResult(out, od_ties, wd_ties)
+
+    def assign_deferred(
+        self, ranked: np.ndarray
+    ) -> tuple[np.ndarray, int, PendingTies | None]:
+        """The deterministic core of :meth:`assign` — RNG untouched.
+
+        Returns ``(group_indices, od_ties, pending)``: every row whose
+        assignment is decided without a random draw is final in
+        ``group_indices``; rows with residual WD ties are described by
+        ``pending`` (``None`` when there are none) and resolved later by
+        :meth:`resolve_ties`.  Pure array work over per-thread buffers, so
+        parallel conversion workers run it concurrently; the caller then
+        resolves the pending draws serially in block order, consuming the
+        RNG stream exactly as one sequential ``assign`` sweep would.
+        """
         ranked, out, is_best, rows = self._od_head(ranked)
         od_ties = int(rows.size)
-        wd_ties = 0
+        pending: PendingTies | None = None
         if od_ties:
             # Lines 8-14: OD ties -> Weight Distance, then random.  WD is
             # evaluated only at the actual (tied row, tied centroid) pairs
@@ -230,22 +317,41 @@ class GroupAssigner:
             out[rows[single]] = pcol[first[single]] + 1
 
             multi = ~single
-            wd_ties = int(multi.sum())
-            if wd_ties:
-                # One batched draw for every residually-tied row; the
-                # broadcast integers(0, counts) consumes the generator
-                # exactly like the reference's per-row rng.choice calls.
-                draws = self.rng.integers(0, n_tied[multi])
-                # Rank of each flagged pair inside its row segment, then
-                # select the (draw+1)-th flagged pair per multi row.
-                inclusive = np.cumsum(flags)
-                base = inclusive[offsets] - flags[offsets]
-                within = inclusive - base[prow]
-                target = np.zeros(counts.shape[0], dtype=np.int64)
-                target[multi] = draws + 1
-                chosen = flags & (within == target[prow])
-                out[rows[prow[chosen]]] = pcol[chosen] + 1
-        return AssignmentResult(out, od_ties, wd_ties)
+            if multi.any():
+                # Flagged candidates of the multi rows, ascending centroid
+                # order within each row's contiguous pair segment — the
+                # (draw+1)-th flagged pair of old inline selection is
+                # exactly cand_cols[cand_offsets + draw].
+                chosen = flags & multi[prow]
+                n_multi = n_tied[multi]
+                cand_offsets = np.zeros(n_multi.shape[0], dtype=np.int64)
+                np.cumsum(n_multi[:-1], out=cand_offsets[1:])
+                pending = PendingTies(
+                    rows=rows[multi],
+                    n_tied=n_multi,
+                    cand_cols=pcol[chosen],
+                    cand_offsets=cand_offsets,
+                )
+        return out, od_ties, pending
+
+    def resolve_ties(
+        self,
+        out: np.ndarray,
+        pending: PendingTies | None,
+        rng: np.random.Generator | None = None,
+    ) -> int:
+        """Resolve one block's residual WD ties in ``out``; returns their count.
+
+        One batched ``integers(0, n_tied)`` draw — the broadcast call
+        consumes the generator exactly like the reference's per-row
+        ``rng.choice`` calls, and like the draw the pre-split ``assign``
+        made inline, so stream positions are unchanged.
+        """
+        if pending is None:
+            return 0
+        draws = (rng or self.rng).integers(0, pending.n_tied)
+        out[pending.rows] = pending.cand_cols[pending.cand_offsets + draws] + 1
+        return int(pending.rows.size)
 
     def assign_reference(self, ranked: np.ndarray) -> AssignmentResult:
         """The retained seed implementation: per-row WD tie-break loop.

@@ -35,6 +35,7 @@ from repro.core.assignment import GroupAssigner
 from repro.core.centroids import compute_centroids
 from repro.core.config import ClimberConfig
 from repro.core.packing import first_fit_decreasing
+from repro.core.parallel import Executor, make_executor, split_ranges
 from repro.core.skeleton import (
     GroupEntry,
     IndexSkeleton,
@@ -273,25 +274,37 @@ def build_index_artifacts(
     # consume the RNG stream identically: tie-break draws depend only on
     # the global row order, never on how rows are blocked into assign
     # calls, so the fused path is free to use larger blocks than the
-    # input chunking.
-    t_convert = time.perf_counter()
-    if conversion == "fused":
-        ranked_all, gids_all = _convert_fused(dataset, pivots, assigner, w, m)
-    else:
-        ranked_all, gids_all = _convert_legacy(chunks, pivots, assigner, w, m)
-    wall_convert = time.perf_counter() - t_convert
+    # input chunking.  The fused/flat pipeline runs its block conversion,
+    # trie compiles and partition encodes on the configured executor
+    # (serial for n_workers=1 — bit-identical results either way); the
+    # legacy modes are the parity baselines and always run serially.
+    executor = make_executor(config.executor, config.effective_n_workers)
+    try:
+        t_convert = time.perf_counter()
+        if conversion == "fused":
+            ranked_all, gids_all = _convert_fused(
+                dataset, pivots, assigner, w, m, executor=executor
+            )
+        else:
+            ranked_all, gids_all = _convert_legacy(
+                chunks, pivots, assigner, w, m
+            )
+        wall_convert = time.perf_counter() - t_convert
 
-    # Re-distribution of every record into its physical partition.
-    t_redist = time.perf_counter()
-    if redistribution == "flat":
-        written_bytes, n_written = _redistribute_flat(
-            dataset, skeleton, ranked_all, gids_all, dfs
-        )
-    else:
-        written_bytes, n_written = _redistribute_legacy(
-            dataset, groups, ranked_all, gids_all, dfs
-        )
-    wall_redistribute = time.perf_counter() - t_redist
+        # Re-distribution of every record into its physical partition.
+        t_redist = time.perf_counter()
+        if redistribution == "flat":
+            written_bytes, n_written = _redistribute_flat(
+                dataset, skeleton, ranked_all, gids_all, dfs,
+                executor=executor,
+            )
+        else:
+            written_bytes, n_written = _redistribute_legacy(
+                dataset, groups, ranked_all, gids_all, dfs
+            )
+        wall_redistribute = time.perf_counter() - t_redist
+    finally:
+        executor.close()
 
     sim.run_scaled_stage(
         "build/redistribute/shuffle",
@@ -319,34 +332,66 @@ def build_index_artifacts(
     )
 
 
+def _convert_block(task):
+    """One conversion block: PAA -> signatures -> deferred assignment.
+
+    A module-level pure function of its task tuple — picklable, so it runs
+    on any executor kind.  The RNG-dependent tie resolution is *not* done
+    here: :meth:`GroupAssigner.assign_deferred` returns the pending draws
+    and the caller resolves them serially in block order, which is what
+    keeps every worker count on the exact RNG stream of a sequential
+    sweep.
+    """
+    values, pivots, assigner, word_length, prefix_length = task
+    paa = paa_transform(values, word_length)
+    ranked = permutation_prefixes(paa, pivots, prefix_length)
+    gids, _od_ties, pending = assigner.assign_deferred(ranked)
+    return ranked, gids, pending
+
+
 def _convert_fused(
     dataset: SeriesDataset,
     pivots: np.ndarray,
     assigner: GroupAssigner,
     word_length: int,
     prefix_length: int,
+    executor: Executor | None = None,
     block_rows: int = 4096,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Streamed full-data conversion into preallocated output arrays.
 
-    One PAA -> ``permutation_prefixes`` -> vectorised ``assign`` pass per
-    ``block_rows`` slice of the dataset, each stage writing straight into
-    the full-dataset ``(n, m)`` signature / ``(n,)`` group-index arrays —
-    no per-chunk list append, no final concatenate, and a block size
-    picked so every intermediate (distance matrix, OD workspace, WD
-    pairs) stays cache-resident: sweeps at the benchmark operating point
-    put the optimum at a few thousand rows, with >2x degradation by 64k
-    rows once the ``(d, k)`` matrices spill.
+    One PAA -> ``permutation_prefixes`` -> deferred-``assign`` pass per
+    ``block_rows`` slice of the dataset — a block size picked so every
+    intermediate (distance matrix, OD workspace, WD pairs) stays
+    cache-resident: sweeps at the benchmark operating point put the
+    optimum at a few thousand rows, with >2x degradation by 64k rows once
+    the ``(d, k)`` matrices spill.
+
+    The blocks are independent tasks on ``executor`` (serial when omitted).
+    Blocking is fixed by ``block_rows`` — never by the worker count — and
+    the RNG tail (:meth:`GroupAssigner.resolve_ties`) runs on this thread
+    in block order after the map, so signatures, group indices and the RNG
+    stream are bit-identical for every worker count, and to the pre-split
+    per-block ``assign`` loop this replaced.
     """
     n = dataset.count
     ranked_all = np.empty((n, prefix_length), dtype=np.int32)
     gids_all = np.empty(n, dtype=np.int64)
-    for start in range(0, n, block_rows):
-        end = min(n, start + block_rows)
-        paa = paa_transform(dataset.values[start:end], word_length)
-        block = ranked_all[start:end]
-        permutation_prefixes(paa, pivots, prefix_length, out=block)
-        gids_all[start:end] = assigner.assign(block).group_indices
+    spans = split_ranges(n, block_rows)
+    tasks = [
+        (dataset.values[start:end], pivots, assigner, word_length,
+         prefix_length)
+        for start, end in spans
+    ]
+    if executor is None:
+        results = map(_convert_block, tasks)
+    else:
+        results = executor.map(_convert_block, tasks)
+    for (start, end), (ranked, gids, pending) in zip(spans, results):
+        ranked_all[start:end] = ranked
+        block = gids_all[start:end]
+        block[...] = gids
+        assigner.resolve_ties(block, pending)
     return ranked_all, gids_all
 
 
@@ -386,6 +431,7 @@ def _redistribute_flat(
     ranked_all: np.ndarray,
     gids_all: np.ndarray,
     dfs: SimulatedDFS,
+    executor: Executor | None = None,
 ) -> tuple[int, int]:
     """Bulk Step-4 redistribution over the CSR-compiled tries.
 
@@ -397,19 +443,48 @@ def _redistribute_flat(
     gathered straight from the dataset arrays into its format-v2 payload
     buffer — no per-record Python, no intermediate v1 partition objects,
     no sorted copy of the dataset.
+
+    With a shared-memory ``executor``, the per-group trie compiles and the
+    per-partition payload encodes fan out (both are pure functions of
+    frozen inputs); stores and their counters run on this thread in
+    partition order, so the stored bytes and every counter are identical
+    to the serial path.  Process pools (no shared address space) and the
+    v1 in-memory object store fall back to the serial write loop.
     """
-    router = skeleton.flat_router()
+    shared = executor is not None and executor.n_workers > 1 \
+        and executor.shares_memory
+    router = skeleton.flat_router(executor=executor if shared else None)
     kid_of = router.route(ranked_all, gids_all)
     order, parts = router.partition_layout(kid_of)
     written_bytes = 0
-    for pid, start, end, header in parts:
-        written_bytes += dfs.write_partition_arrays(
-            partition_name(pid),
-            dataset.ids,
-            dataset.values,
-            header,
-            rows=order[start:end],
-        )
+    if shared and dfs.stores_encoded:
+        engine = dfs.engine
+        series_length = int(dataset.values.shape[1])
+
+        def encode(item):
+            pid, start, end, header = item
+            return engine.encode_arrays(
+                partition_name(pid), dataset.ids, dataset.values, header,
+                rows=order[start:end],
+            )
+
+        payloads = executor.map(encode, parts)
+        for (pid, start, end, header), payload in zip(parts, payloads):
+            written_bytes += dfs.write_encoded_partition(
+                partition_name(pid), payload,
+                record_count=end - start,
+                series_length=series_length,
+                header=header,
+            )
+    else:
+        for pid, start, end, header in parts:
+            written_bytes += dfs.write_partition_arrays(
+                partition_name(pid),
+                dataset.ids,
+                dataset.values,
+                header,
+                rows=order[start:end],
+            )
     return written_bytes, len(parts)
 
 

@@ -81,6 +81,20 @@ class ClimberConfig:
         views) or ``"v1"`` (the legacy blob stream).  Purely physical, like
         the cache: query results, logical read counters, and simulated
         cost accounting are byte-identical across formats.
+    n_workers:
+        Worker count of the parallel execution layer
+        (:mod:`repro.core.parallel`): build conversion blocks, trie
+        compiles, partition encodes and ``knn_batch`` query shards all run
+        on this many workers.  ``None`` (the default) resolves through the
+        ``CLIMBER_N_WORKERS`` environment variable, else 1.  Purely
+        physical: any worker count produces **bit-identical** results —
+        same partition bytes, counters and kNN answers as ``n_workers=1``
+        (the parity suite proves it).
+    executor:
+        Executor kind behind ``n_workers``: ``"thread"`` (default — the
+        hot numpy kernels release the GIL, and thread pools share the
+        index's object graph), ``"process"`` (pickle-friendly stages only;
+        shared-structure stages fall back to threads), or ``"serial"``.
     """
 
     word_length: int = 16
@@ -99,6 +113,8 @@ class ClimberConfig:
     sim_partition_bytes: int | None = None
     dfs_cache_bytes: int = 0
     partition_format: str = "v2"
+    n_workers: int | None = None
+    executor: str = "thread"
 
     def __post_init__(self) -> None:
         if self.word_length < 1:
@@ -136,6 +152,20 @@ class ClimberConfig:
                 f"partition_format must be 'v1' or 'v2', "
                 f"got {self.partition_format!r}"
             )
+        if self.n_workers is not None and self.n_workers < 1:
+            raise ConfigurationError("n_workers must be >= 1 when given")
+        if self.executor not in ("serial", "thread", "process"):
+            raise ConfigurationError(
+                f"executor must be 'serial', 'thread' or 'process', "
+                f"got {self.executor!r}"
+            )
+
+    @property
+    def effective_n_workers(self) -> int:
+        """Resolved worker count: ``n_workers`` → ``CLIMBER_N_WORKERS`` → 1."""
+        from repro.core.parallel import resolve_n_workers
+
+        return resolve_n_workers(self.n_workers)
 
     @property
     def epsilon(self) -> int:

@@ -52,6 +52,7 @@ from repro.cluster import (
 from repro.core.assignment import GroupAssigner
 from repro.core.builder import BuildArtifacts, build_index_artifacts
 from repro.core.config import ClimberConfig
+from repro.core.parallel import make_executor, split_ranges
 from repro.core.routing import GroupCandidate, RoutingTable
 from repro.core.routing import select_primary as _select_primary
 from repro.core.skeleton import (
@@ -70,6 +71,13 @@ from repro.series import (
 )
 
 __all__ = ["ClimberIndex", "QueryResult", "QueryStats", "GroupCandidate"]
+
+_QUERY_SHARD_ROWS = 8
+"""Rows per ``knn_batch`` shard.  Fixed by row count — never by worker
+count — so the task list (and with it every deterministic per-shard
+result) is identical for any ``n_workers``; 8 rows amortise task overhead
+while a typical benchmark batch still yields enough shards to fill a
+pool."""
 
 
 @dataclass(frozen=True)
@@ -606,6 +614,19 @@ class ClimberIndex:
         (including simulated cost accounting) are identical to calling
         :meth:`knn` once per row; only ``wall_seconds`` reflects the
         shared-work split.
+
+        With ``config.n_workers > 1`` the per-row node selection and
+        record scans run as row shards on a thread pool (the index's
+        object graph is shared, so a ``"process"`` executor degrades to
+        threads here).  The split keeps answers bit-identical to the
+        serial sweep for any worker count: the shared routing matrix is
+        computed once up front; the only RNG consumer
+        (:meth:`select_primary`) runs on this thread in row order before
+        the fan-out; and each shard's remaining work is a pure function of
+        its rows.  Logical DFS counters are exact either way (commutative
+        sums under the DFS lock); only the *physical*
+        ``cache_hits``/``cache_misses`` split may shift with worker
+        interleaving, as any real cache's would.
         """
         self._validate_query_args(k, variant)
         arr = np.asarray(queries, dtype=np.float64)
@@ -626,20 +647,42 @@ class ClimberIndex:
         uniq, inverse = np.unique(ranked, axis=0, return_inverse=True)
         inverse = np.asarray(inverse).reshape(-1)
         od, wd = self._routing.distance_matrices(uniq)
+        # Phase split: candidates + primary selection for every row first —
+        # select_primary is the only _rng consumer, so running it serially
+        # in row order pins the RNG stream to the serial sweep's — then the
+        # RNG-free shard scans.
+        candidates_of = []
+        primaries = []
+        for i in range(arr.shape[0]):
+            row = int(inverse[i])
+            candidates_of.append(
+                self._routing.candidates(
+                    ranked[i], od[row], wd[row], od_slack=od_slack
+                )
+            )
+            primaries.append(self.select_primary(candidates_of[-1]))
         # The shared signature/routing span is amortised evenly over the
         # rows so per-query wall_seconds stay comparable to knn's.
         shared_share = (time.perf_counter() - t0) / arr.shape[0]
-        results = []
-        for i in range(arr.shape[0]):
-            row = int(inverse[i])
-            candidates = self._routing.candidates(
-                ranked[i], od[row], wd[row], od_slack=od_slack
+
+        def run_shard(span):
+            start, end = span
+            return [
+                self._knn_routed(
+                    arr[i], k, variant, adaptive_factor, candidates_of[i],
+                    time.perf_counter() - shared_share,
+                    primary=primaries[i],
+                )
+                for i in range(start, end)
+            ]
+
+        cfg = self.config
+        with make_executor(cfg.executor, cfg.effective_n_workers,
+                           require_shared_memory=True) as executor:
+            shards = executor.map(
+                run_shard, split_ranges(arr.shape[0], _QUERY_SHARD_ROWS)
             )
-            results.append(
-                self._knn_routed(arr[i], k, variant, adaptive_factor,
-                                 candidates, time.perf_counter() - shared_share)
-            )
-        return results
+        return [result for shard in shards for result in shard]
 
     def _knn_routed(
         self,
@@ -649,11 +692,19 @@ class ClimberIndex:
         adaptive_factor: int | None,
         candidates: list[GroupCandidate],
         t0: float,
+        primary: GroupCandidate | None = None,
     ) -> QueryResult:
-        """Stages 3-4 of the pipeline: node selection + record scan."""
+        """Stages 3-4 of the pipeline: node selection + record scan.
+
+        ``primary`` may be precomputed by the caller (the batch pipeline
+        selects primaries for all rows serially, pinning the RNG stream,
+        before fanning the RNG-free remainder out to worker shards);
+        when omitted it is selected here, consuming ``self._rng``.
+        """
         sim = ClusterSimulator(self.model)
         cfg = self.config
-        primary = self.select_primary(candidates)
+        if primary is None:
+            primary = self.select_primary(candidates)
 
         # Driver-side routing: signature of one query object plus a linear
         # scan of the group list.  Independent of the data volume, so it is

@@ -92,19 +92,21 @@ class IndexSkeleton:
     def total_trie_nodes(self) -> int:
         return sum(g.trie.node_count() for g in self.groups)
 
-    def flat_router(self):
+    def flat_router(self, executor=None):
         """The CSR-compiled trie router over this skeleton's groups.
 
         Compiled lazily, once: the builder's bulk redistribution, the
         vectorised query routing table and :meth:`ClimberIndex.append` all
         share the same compile.  The skeleton's tries are frozen after
         construction (appends never rebalance), so the cache never goes
-        stale.
+        stale.  ``executor`` (a :class:`repro.core.parallel.Executor`)
+        parallelises the per-group compiles of a *first* call; a cached
+        router is returned as-is.
         """
         if self._flat_router is None:
             from repro.core.trie_flat import FlatTrieRouter
 
-            self._flat_router = FlatTrieRouter(self)
+            self._flat_router = FlatTrieRouter(self, executor=executor)
         return self._flat_router
 
     def fallback_mask(self) -> np.ndarray:

@@ -270,13 +270,30 @@ class FlatTrieRouter:
     :meth:`PartitionFile.from_clusters` builds from a key-sorted mapping.
     """
 
-    def __init__(self, skeleton: IndexSkeleton) -> None:
+    def __init__(self, skeleton: IndexSkeleton, executor=None) -> None:
         self.skeleton = skeleton
         self.stride = int(skeleton.n_pivots)
-        self.tries = [
-            FlatTrie(g.trie, g.group_id, skeleton.n_pivots)
-            for g in skeleton.groups
-        ]
+        if executor is not None and executor.n_workers > 1:
+            # Per-group compiles are independent pure-Python traversals, so
+            # a thread pool overlaps them; map preserves group order, and
+            # each FlatTrie depends only on its own group, so the result is
+            # identical to the serial loop.  Compiled tries are keyed by
+            # TrieNode identity (``_node_index``) and structure-share the
+            # skeleton's nodes — shared memory is required, never a process
+            # pool (make_executor's require_shared_memory gate).
+            if not executor.shares_memory:
+                raise ConfigurationError(
+                    "FlatTrieRouter compile requires a shared-memory executor"
+                )
+            self.tries = executor.map(
+                lambda g: FlatTrie(g.trie, g.group_id, skeleton.n_pivots),
+                skeleton.groups,
+            )
+        else:
+            self.tries = [
+                FlatTrie(g.trie, g.group_id, skeleton.n_pivots)
+                for g in skeleton.groups
+            ]
         n_groups = len(self.tries)
         offsets = np.zeros(n_groups + 1, dtype=np.int64)
         kid_keys: list[str] = []

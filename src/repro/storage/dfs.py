@@ -14,6 +14,12 @@ blob stream — while this class keeps everything *simulated* about the DFS:
 * the capacity constraint ``c`` of Def. 12 (``block_records``);
 * an opt-in byte-bounded LRU **read cache** over opened partition handles
   (``cache_bytes``), tracked physically by ``cache_hits``/``cache_misses``;
+* **thread safety** — reads, writes, counters and the cache are guarded by
+  one reentrant lock, so parallel query shards and parallel build stages
+  (:mod:`repro.core.parallel`) can share a DFS.  Logical counters stay
+  exact under concurrency (they are commutative sums taken under the
+  lock); ``cache_hits``/``cache_misses`` describe physical behaviour and
+  depend on interleaving, as any real cache's do;
 * a **delta-name registry** — ``delta_partitions(base)`` answers the
   ``<base>.d<seq>`` naming-convention lookup from an in-memory index;
 * **header metadata** — ``record_count(pid)`` / ``series_length(pid)``
@@ -30,6 +36,7 @@ serialisation; on disk: full-blob deserialisation per read).
 
 from __future__ import annotations
 
+import threading
 from bisect import insort
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -120,6 +127,12 @@ class SimulatedDFS:
         self._deltas: dict[str, list[str]] = {}
         self._cache: OrderedDict[str, PartitionHandle] = OrderedDict()
         self._cache_used = 0
+        # One reentrant lock guards registry, counters and cache: partition
+        # opens are cheap (header + directory parse) relative to the kernel
+        # work callers do on the returned handle outside the lock, so a
+        # single coarse lock keeps the invariants simple without becoming
+        # the bottleneck.
+        self._lock = threading.RLock()
         self.counters = DfsCounters()
 
     @property
@@ -177,21 +190,22 @@ class SimulatedDFS:
 
     def write_partition(self, partition: PartitionFile) -> None:
         pid = partition.partition_id
-        if pid in self._sizes:
-            raise StorageError(f"partition {pid!r} already exists")
-        nbytes = partition.nbytes
-        if self._object_store():
-            self._partitions[pid] = partition
-        else:
-            self._engine.write_partition(partition)
-        # Defensive invalidation: duplicate ids are rejected above, so a
-        # cached entry can never be stale today — but any future overwrite
-        # path must evict here, and the cost is one dict lookup.
-        self._cache_evict(pid)
-        self._register(pid, nbytes, partition.record_count,
-                       partition.series_length)
-        self.counters.bytes_written += nbytes
-        self.counters.partitions_written += 1
+        with self._lock:
+            if pid in self._sizes:
+                raise StorageError(f"partition {pid!r} already exists")
+            nbytes = partition.nbytes
+            if self._object_store():
+                self._partitions[pid] = partition
+            else:
+                self._engine.write_partition(partition)
+            # Defensive invalidation: duplicate ids are rejected above, so a
+            # cached entry can never be stale today — but any future overwrite
+            # path must evict here, and the cost is one dict lookup.
+            self._cache_evict(pid)
+            self._register(pid, nbytes, partition.record_count,
+                           partition.series_length)
+            self.counters.bytes_written += nbytes
+            self.counters.partitions_written += 1
 
     def write_partition_arrays(
         self,
@@ -215,25 +229,66 @@ class SimulatedDFS:
         ``PartitionFile.from_clusters`` over the same records.  Returns the
         partition's logical size in bytes.
         """
-        if partition_id in self._sizes:
-            raise StorageError(f"partition {partition_id!r} already exists")
         record_count = int(rows.shape[0] if rows is not None else ids.shape[0])
         series_length = int(values.shape[1])
         nbytes = logical_partition_nbytes(record_count, series_length, header)
+        with self._lock:
+            if partition_id in self._sizes:
+                raise StorageError(f"partition {partition_id!r} already exists")
+            if self._object_store():
+                self._partitions[partition_id] = PartitionFile.from_arrays(
+                    partition_id,
+                    ids[rows] if rows is not None else ids,
+                    values[rows] if rows is not None else values,
+                    header,
+                )
+            else:
+                self._engine.write_arrays(partition_id, ids, values, header,
+                                          rows=rows)
+            self._cache_evict(partition_id)
+            self._register(partition_id, nbytes, record_count, series_length)
+            self.counters.bytes_written += nbytes
+            self.counters.partitions_written += 1
+        return nbytes
+
+    @property
+    def stores_encoded(self) -> bool:
+        """True when partitions live as encoded bytes in the engine — the
+        precondition for :meth:`write_encoded_partition` (everything except
+        the v1 in-memory object store)."""
+        return not self._object_store()
+
+    def write_encoded_partition(
+        self,
+        partition_id: str,
+        payload: bytes,
+        record_count: int,
+        series_length: int,
+        header: dict[str, tuple[int, int]],
+    ) -> int:
+        """Store a payload pre-encoded by :meth:`StorageEngine.encode_arrays`.
+
+        The store half of :meth:`write_partition_arrays`, for the parallel
+        builder: workers encode payloads concurrently (a pure function of
+        the record arrays), the caller stores them through here serially in
+        partition order.  Registration, logical counters and cache
+        invalidation are identical to :meth:`write_partition_arrays` over
+        the same records, so the build is bit-identical either way.
+        """
         if self._object_store():
-            self._partitions[partition_id] = PartitionFile.from_arrays(
-                partition_id,
-                ids[rows] if rows is not None else ids,
-                values[rows] if rows is not None else values,
-                header,
+            raise StorageError(
+                "write_encoded_partition requires an encoded store "
+                "(v1 in-memory keeps live PartitionFile objects)"
             )
-        else:
-            self._engine.write_arrays(partition_id, ids, values, header,
-                                      rows=rows)
-        self._cache_evict(partition_id)
-        self._register(partition_id, nbytes, record_count, series_length)
-        self.counters.bytes_written += nbytes
-        self.counters.partitions_written += 1
+        nbytes = logical_partition_nbytes(record_count, series_length, header)
+        with self._lock:
+            if partition_id in self._sizes:
+                raise StorageError(f"partition {partition_id!r} already exists")
+            self._engine.write_payload(partition_id, payload)
+            self._cache_evict(partition_id)
+            self._register(partition_id, nbytes, record_count, series_length)
+            self.counters.bytes_written += nbytes
+            self.counters.partitions_written += 1
         return nbytes
 
     def read_partition(self, partition_id: str) -> PartitionHandle:
@@ -243,30 +298,42 @@ class SimulatedDFS:
         nothing beyond the header and cluster directory is materialised
         until cluster ranges are actually read.
         """
-        if partition_id not in self._sizes:
-            raise PartitionNotFoundError(f"no partition {partition_id!r}")
-        # Logical accounting is cache-independent: the paper's access-volume
-        # metrics charge every partition touch.
-        self.counters.bytes_read += self._sizes[partition_id]
-        self.counters.partitions_read += 1
-        if self.cache_bytes:
-            cached = self._cache.get(partition_id)
-            if cached is not None:
-                self.counters.cache_hits += 1
-                self._cache.move_to_end(partition_id)
-                return cached
-            self.counters.cache_misses += 1
-        if self._object_store():
-            part: PartitionHandle = self._partitions[partition_id]
-        else:
-            part = self._engine.open_partition(partition_id)
-        if self.cache_bytes:
-            self._cache_insert(partition_id, part)
-        return part
+        # The whole read — counters, cache probe, open, cache insert — runs
+        # under the lock: opens parse only header + directory, so the held
+        # section stays small while every cache/counter invariant holds
+        # under concurrent readers (the backends' handle caches mutate on
+        # read and are serialised here too).
+        with self._lock:
+            if partition_id not in self._sizes:
+                raise PartitionNotFoundError(f"no partition {partition_id!r}")
+            # Logical accounting is cache-independent: the paper's
+            # access-volume metrics charge every partition touch.
+            self.counters.bytes_read += self._sizes[partition_id]
+            self.counters.partitions_read += 1
+            if self.cache_bytes:
+                cached = self._cache.get(partition_id)
+                if cached is not None:
+                    self.counters.cache_hits += 1
+                    self._cache.move_to_end(partition_id)
+                    return cached
+                self.counters.cache_misses += 1
+            if self._object_store():
+                part: PartitionHandle = self._partitions[partition_id]
+            else:
+                part = self._engine.open_partition(partition_id)
+            if self.cache_bytes:
+                self._cache_insert(partition_id, part)
+            return part
 
     # -- read cache --------------------------------------------------------------
 
     def _cache_insert(self, pid: str, part: PartitionHandle) -> None:
+        # Caller holds self._lock.  Idempotent on purpose: a pid already
+        # cached (possible when an eviction races a re-read in caller code
+        # built on snapshots) must not double-count _cache_used.
+        if pid in self._cache:
+            self._cache.move_to_end(pid)
+            return
         nbytes = self._sizes[pid]
         if nbytes > self.cache_bytes:
             return
@@ -277,18 +344,21 @@ class SimulatedDFS:
             self._cache_used -= self._sizes[evicted]
 
     def _cache_evict(self, pid: str) -> None:
+        # Caller holds self._lock.
         if self._cache.pop(pid, None) is not None:
             self._cache_used -= self._sizes.get(pid, 0)
 
     @property
     def cache_used_bytes(self) -> int:
         """Bytes currently held by the read cache."""
-        return self._cache_used
+        with self._lock:
+            return self._cache_used
 
     def cache_clear(self) -> None:
         """Drop every cached partition (counters untouched)."""
-        self._cache.clear()
-        self._cache_used = 0
+        with self._lock:
+            self._cache.clear()
+            self._cache_used = 0
 
     # -- introspection -----------------------------------------------------------
 

@@ -111,16 +111,41 @@ class StorageEngine:
         ``write_partition(PartitionFile.from_clusters(...))`` over the
         same records.  Returns the physical byte count.
         """
+        return self.write_payload(
+            partition_id,
+            self.encode_arrays(partition_id, ids, values, header, rows=rows),
+        )
+
+    def encode_arrays(
+        self,
+        partition_id: str,
+        ids: np.ndarray,
+        values: np.ndarray,
+        header: dict[str, tuple[int, int]],
+        rows: np.ndarray | None = None,
+    ) -> bytes:
+        """Encode cluster-sorted arrays into the configured format without
+        storing them.
+
+        The encode half of :meth:`write_arrays` — a pure function of its
+        arguments, safe to run on worker threads.  The parallel builder
+        encodes partition payloads concurrently through here and stores
+        them serially, in partition order, via :meth:`write_payload`; the
+        bytes are identical to a direct :meth:`write_arrays` call.
+        """
         if self.partition_format == "v2":
-            payload = encode_partition_v2_arrays(partition_id, ids, values,
-                                                 header, rows=rows)
-        else:
-            if rows is not None:
-                ids = np.asarray(ids, dtype=np.int64)[rows]
-                values = np.asarray(values, dtype=np.float64)[rows]
-            payload = PartitionFile.from_arrays(
-                partition_id, ids, values, header
-            ).to_bytes()
+            return encode_partition_v2_arrays(partition_id, ids, values,
+                                              header, rows=rows)
+        if rows is not None:
+            ids = np.asarray(ids, dtype=np.int64)[rows]
+            values = np.asarray(values, dtype=np.float64)[rows]
+        return PartitionFile.from_arrays(
+            partition_id, ids, values, header
+        ).to_bytes()
+
+    def write_payload(self, partition_id: str, payload: bytes) -> int:
+        """Store an already-encoded partition payload (see
+        :meth:`encode_arrays`); returns the physical byte count."""
         self.backend.write(self._name(partition_id), payload)
         return len(payload)
 

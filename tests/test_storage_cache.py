@@ -221,3 +221,72 @@ class TestAccountingParityWithCache:
         assert warm[0] == cold[0]
         assert warm[1] == cold[1]
         assert warm[2] == cold[2]
+
+
+class TestCacheThreadSafety:
+    """The cache (and every counter) is guarded by one DFS lock: a storm of
+    concurrent readers over a cache far smaller than the working set must
+    keep every invariant intact — no exceptions, exact logical counters,
+    hit/miss totals that sum to the read count, and an eviction accounting
+    that never drifts or exceeds the byte budget."""
+
+    def test_concurrent_read_hammer(self):
+        import threading
+
+        parts = [make_partition(f"p{i}", seed=i) for i in range(12)]
+        # Budget fits only ~3 partitions, forcing constant eviction churn.
+        dfs = SimulatedDFS(cache_bytes=3 * parts[0].nbytes + 1,
+                           partition_format="v2")
+        for part in parts:
+            dfs.write_partition(part)
+
+        n_threads, reads_each = 8, 300
+        errors = []
+        barrier = threading.Barrier(n_threads)
+
+        def reader(seed):
+            rng = np.random.default_rng(seed)
+            barrier.wait()
+            try:
+                for _ in range(reads_each):
+                    pid = f"p{rng.integers(0, len(parts))}"
+                    handle = dfs.read_partition(pid)
+                    assert handle.record_count == parts[0].record_count
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=reader, args=(seed,))
+            for seed in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not errors
+        total = n_threads * reads_each
+        c = dfs.counters
+        assert c.partitions_read == total
+        # All test partitions share one shape, so logical bytes are exact.
+        assert c.bytes_read == total * dfs.partition_nbytes("p0")
+        # Every read is exactly one hit or one miss.
+        assert c.cache_hits + c.cache_misses == total
+        assert c.cache_misses >= 1
+        # Accounting invariant: used bytes equal the sum of cached
+        # partition sizes and respect the budget.
+        assert dfs.cache_used_bytes == sum(
+            dfs.partition_nbytes(pid) for pid in dfs._cache
+        )
+        assert dfs.cache_used_bytes <= dfs.cache_bytes
+
+    def test_duplicate_insert_is_idempotent(self):
+        # Regression for the pre-lock accounting: re-inserting an already
+        # cached partition must not double-count cache_used_bytes.
+        part = make_partition("a")
+        dfs = SimulatedDFS(cache_bytes=1 << 20, partition_format="v2")
+        dfs.write_partition(part)
+        handle = dfs.read_partition("a")
+        before = dfs.cache_used_bytes
+        dfs._cache_insert("a", handle)
+        dfs._cache_insert("a", handle)
+        assert dfs.cache_used_bytes == before
