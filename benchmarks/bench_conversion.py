@@ -33,7 +33,7 @@ import argparse
 import json
 from pathlib import Path
 
-from bench_common import bench_environment
+from bench_common import bench_environment, record_rounds
 from repro.core import ClimberConfig
 from repro.core.builder import build_index_artifacts
 from repro.datasets import make_dataset
@@ -87,14 +87,15 @@ def bench_mode(dataset, config: ClimberConfig, mode: str, rounds: int) -> dict:
         walls.append(art.wall_seconds)
         converts.append(art.wall_phase_seconds["convert"])
         last = art
-    best_convert = min(converts)
+    wall = record_rounds(f"conversion.{mode}.wall", walls)
+    convert = record_rounds(f"conversion.{mode}.convert", converts)
     return {
         "mode": mode,
         "rounds": rounds,
-        "build_wall_s_best": min(walls),
-        "convert_s_best": best_convert,
-        "convert_s_all": [round(t, 4) for t in converts],
-        "convert_records_per_s": dataset.count / best_convert,
+        "build_wall_s_best": wall["best_s"],
+        "convert_s_best": convert["best_s"],
+        "convert_s_all": convert["all_s"],
+        "convert_records_per_s": dataset.count / convert["best_s"],
         "groups": len(last.skeleton.groups),
         "partitions_written": len(last.dfs.list_partitions()),
         "_artifacts": last,

@@ -34,7 +34,7 @@ from pathlib import Path
 
 import numpy as np
 
-from bench_common import bench_environment
+from bench_common import bench_environment, record_rounds
 from repro.core import ClimberConfig
 from repro.core.builder import build_index_artifacts
 from repro.datasets import make_dataset
@@ -94,15 +94,17 @@ def bench_mode(dataset, config: ClimberConfig, mode: str, rounds: int) -> dict:
         converts.append(art.wall_phase_seconds["convert"])
         redists.append(art.wall_phase_seconds["redistribute"])
         last = art
-    best_redist = min(redists)
+    wall = record_rounds(f"build.{mode}.wall", walls)
+    convert = record_rounds(f"build.{mode}.convert", converts)
+    redist = record_rounds(f"build.{mode}.redistribute", redists)
     return {
         "mode": mode,
         "rounds": rounds,
-        "build_wall_s_best": min(walls),
-        "convert_s_best": min(converts),
-        "redistribute_s_best": best_redist,
-        "redistribute_s_all": [round(t, 4) for t in redists],
-        "redistribute_records_per_s": dataset.count / best_redist,
+        "build_wall_s_best": wall["best_s"],
+        "convert_s_best": convert["best_s"],
+        "redistribute_s_best": redist["best_s"],
+        "redistribute_s_all": redist["all_s"],
+        "redistribute_records_per_s": dataset.count / redist["best_s"],
         "partitions_written": len(last.dfs.list_partitions()),
         "trie_nodes": last.skeleton.total_trie_nodes(),
         "_artifacts": last,

@@ -39,7 +39,7 @@ from pathlib import Path
 import numpy as np
 
 import repro.core.builder as builder_mod
-from bench_common import bench_environment
+from bench_common import bench_environment, timed
 from repro.core import ClimberConfig, ClimberIndex
 from repro.core.builder import build_index_artifacts
 from repro.core.index import _QUERY_SHARD_ROWS
@@ -251,14 +251,14 @@ def measure_walls(dataset, queries, k, n) -> dict:
     build_walls, qps = {}, {}
     for workers in WORKER_COUNTS:
         cfg = make_config(n, workers)
-        t0 = time.perf_counter()
-        art = build_once(dataset, cfg)
-        build_walls[workers] = time.perf_counter() - t0
+        with timed(f"scaling.build.w{workers}") as t_build:
+            art = build_once(dataset, cfg)
+        build_walls[workers] = t_build.seconds
         index = ClimberIndex(art, cfg, model=_model())
         index.knn_batch(queries[:8], k)  # warm routing tables / caches
-        t0 = time.perf_counter()
-        index.knn_batch(queries, k)
-        qps[workers] = len(queries) / (time.perf_counter() - t0)
+        with timed(f"scaling.batch.w{workers}") as t_batch:
+            index.knn_batch(queries, k)
+        qps[workers] = len(queries) / t_batch.seconds
     return {"build_wall_s": build_walls, "batch_qps": qps}
 
 

@@ -25,12 +25,11 @@ from __future__ import annotations
 import argparse
 import json
 import tempfile
-import time
 from pathlib import Path
 
 import numpy as np
 
-from bench_common import bench_environment
+from bench_common import bench_environment, best_of, timed
 from repro.core import ClimberConfig, ClimberIndex
 from repro.core.routing import (
     scalar_group_candidates,
@@ -79,20 +78,20 @@ def scalar_patched(index: ClimberIndex) -> ClimberIndex:
 def bench_routing(index: ClimberIndex, sigs: list[np.ndarray], reps: int) -> dict:
     """Single-query routing latency, scalar vs vectorised."""
     rng_scalar = np.random.default_rng(0)
-    t0 = time.perf_counter()
-    for _ in range(reps):
-        for sig in sigs:
-            cands = scalar_group_candidates(index, sig, od_slack=1)
-            scalar_select_primary(cands, rng_scalar)
-    scalar_s = time.perf_counter() - t0
+    with timed("routing.scalar") as t_scalar:
+        for _ in range(reps):
+            for sig in sigs:
+                cands = scalar_group_candidates(index, sig, od_slack=1)
+                scalar_select_primary(cands, rng_scalar)
+    scalar_s = t_scalar.seconds
 
     rng_vector = np.random.default_rng(0)
-    t0 = time.perf_counter()
-    for _ in range(reps):
-        for sig in sigs:
-            cands = index.group_candidates(sig, od_slack=1)
-            select_primary(cands, rng_vector)
-    vector_s = time.perf_counter() - t0
+    with timed("routing.vector") as t_vector:
+        for _ in range(reps):
+            for sig in sigs:
+                cands = index.group_candidates(sig, od_slack=1)
+                select_primary(cands, rng_vector)
+    vector_s = t_vector.seconds
 
     n = reps * len(sigs)
     return {
@@ -136,18 +135,12 @@ def bench_batch(blob: bytes, config: ClimberConfig, dfs_dir: Path,
     rounds = 3
     base_idx, _ = reopen(0)
     scalar_patched(base_idx)
-    loop_s = float("inf")
-    for _ in range(rounds):
-        t0 = time.perf_counter()
-        base_res = [base_idx.knn(q, k) for q in queries]
-        loop_s = min(loop_s, time.perf_counter() - t0)
+    loop_s = best_of(lambda: [base_idx.knn(q, k) for q in queries],
+                     rounds, name="batch.loop")
 
     fast_idx, fast_dfs2 = reopen(CACHE_BYTES)
-    batch_s = float("inf")
-    for _ in range(rounds):
-        t0 = time.perf_counter()
-        fast_res = fast_idx.knn_batch(queries, k)
-        batch_s = min(batch_s, time.perf_counter() - t0)
+    batch_s = best_of(lambda: fast_idx.knn_batch(queries, k),
+                      rounds, name="batch.batch")
 
     n = len(queries)
     return {
@@ -184,9 +177,9 @@ def main() -> None:
     with tempfile.TemporaryDirectory() as tmp:
         dfs_dir = Path(tmp) / "dfs"
         dfs = SimulatedDFS(backing_dir=dfs_dir)
-        t0 = time.perf_counter()
-        index = ClimberIndex.build(dataset, config, dfs=dfs)
-        build_s = time.perf_counter() - t0
+        with timed("build") as t_build:
+            index = ClimberIndex.build(dataset, config, dfs=dfs)
+        build_s = t_build.seconds
         print(f"built: {index.n_groups} groups, {index.n_partitions} "
               f"partitions, {dataset.count} records ({build_s:.2f}s)")
         if not args.smoke and index.n_groups < 64:

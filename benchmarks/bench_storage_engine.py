@@ -33,7 +33,7 @@ from pathlib import Path
 
 import numpy as np
 
-from bench_common import bench_environment
+from bench_common import bench_environment, bench_registry
 from repro.core import ClimberConfig, ClimberIndex
 from repro.datasets import random_walk_dataset, sample_queries
 from repro.storage import (
@@ -95,6 +95,10 @@ def bench_cold_reads(parts: list[PartitionFile], root: Path, fmt: str,
 
     checksum = 0.0
     latencies = []
+    # Every cold-read sample also lands in the bench registry, so the
+    # artifact's environment stamp carries the full latency distribution
+    # (p50/p90/p99) alongside the numpy percentiles computed below.
+    read_hist = bench_registry().histogram(f"storage.cold_read.{fmt}_s")
     bytes_materialised = 0
     physical_total = 0
     engine = StorageEngine(LocalDiskBackend(root), partition_format=fmt)
@@ -110,7 +114,9 @@ def bench_cold_reads(parts: list[PartitionFile], root: Path, fmt: str,
             t0 = time.perf_counter()
             handle = engine.open_partition(pid)
             ids, values = handle.read_clusters(keys)
-            latencies.append(time.perf_counter() - t0)
+            dt = time.perf_counter() - t0
+            latencies.append(dt)
+            read_hist.observe(dt)
             checksum += float(values[0, 0]) + float(ids[0])
             if hasattr(handle, "materialised_bytes"):
                 bytes_materialised += handle.materialised_bytes

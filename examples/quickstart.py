@@ -1,15 +1,19 @@
 #!/usr/bin/env python3
 """Quickstart: build a CLIMBER index and run approximate kNN queries.
 
-Walks through the full public API in ~40 lines:
+Walks through the full public API in ~50 lines:
 
 1. generate a data series dataset (the RandomWalk benchmark),
-2. build the two-level pivot index (CLIMBER-INX),
+2. build the two-level pivot index (CLIMBER-INX) with telemetry on,
 3. run approximate kNN queries with the three variants,
-4. measure recall against exact ground truth.
+4. measure recall against exact ground truth,
+5. inspect one query plan with ``explain_query`` and the accumulated
+   build/query metrics with ``stats()``.
 
 Run:  python examples/quickstart.py
 """
+
+import json
 
 from repro.core import ClimberConfig, ClimberIndex
 from repro.datasets import random_walk_dataset, sample_queries
@@ -33,6 +37,7 @@ def main() -> None:
         capacity=400,         # partition capacity c, in records
         sample_fraction=0.2,  # construction sample (alpha)
         seed=1,
+        telemetry=True,       # per-stage spans + query metrics (default off)
     )
     index = ClimberIndex.build(dataset, config)
     print(f"index: {index.n_groups} groups, {index.n_partitions} partitions, "
@@ -54,11 +59,24 @@ def main() -> None:
     print()
     print(render_table(f"approximate {K}-NN over {queries.count} queries", rows))
 
-    # Inspect a single answer.
-    res = index.knn(queries.values[0], 5)
-    print(f"\nfirst query -> ids {res.ids.tolist()}, "
-          f"distances {[round(d, 3) for d in res.distances.tolist()]}")
-    print(f"touched partitions: {list(res.stats.partitions_loaded)}")
+    # 5. EXPLAIN one query: per-stage wall timings, partitions probed,
+    #    logical bytes read, cache hits/misses — plus the answer itself.
+    plan = index.explain_query(queries.values[0], 5)
+    print(f"\nfirst query -> ids {plan['ids']}, "
+          f"distances {[round(d, 3) for d in plan['distances']]}")
+    print(f"touched partitions: {plan['partitions']} "
+          f"({plan['bytes_read']:,} logical bytes)")
+    stage_us = {name: f"{1e6 * s:.0f}us" for name, s in plan["stages"].items()}
+    print(f"stage walls: {stage_us}")
+
+    # Accumulated metrics: build spans and the queries run above (recall
+    # evaluation included) all landed in the index registry.
+    stats = index.stats()
+    query_hist = stats["metrics"]["histograms"]["query.wall_s"]
+    print(f"\n{query_hist['count']} queries recorded, "
+          f"p50 {1e6 * query_hist['p50']:.0f}us, "
+          f"p99 {1e6 * query_hist['p99']:.0f}us")
+    print("dfs counters:", json.dumps(stats["dfs"]))
 
 
 if __name__ == "__main__":

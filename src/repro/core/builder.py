@@ -35,7 +35,12 @@ from repro.core.assignment import GroupAssigner
 from repro.core.centroids import compute_centroids
 from repro.core.config import ClimberConfig
 from repro.core.packing import first_fit_decreasing
-from repro.core.parallel import Executor, make_executor, split_ranges
+from repro.core.parallel import (
+    Executor,
+    make_executor,
+    record_parallel_fallback,
+    split_ranges,
+)
 from repro.core.skeleton import (
     GroupEntry,
     IndexSkeleton,
@@ -45,6 +50,7 @@ from repro.core.skeleton import (
 )
 from repro.core.trie import build_group_trie
 from repro.exceptions import ConfigurationError
+from repro.obs import NULL_TELEMETRY, Telemetry
 from repro.pivots import decay_weights, permutation_prefixes, select_random_pivots
 from repro.series import SeriesDataset, paa_transform
 from repro.storage import PartitionFile, SimulatedDFS
@@ -69,6 +75,11 @@ class BuildArtifacts:
     (trie routing, grouping and partition writes) — the before/after axis
     of ``benchmarks/bench_index_build.py``."""
 
+    telemetry: Telemetry = field(default_factory=lambda: NULL_TELEMETRY)
+    """The telemetry the build recorded into (``build.*`` histograms and
+    span timings when enabled).  ``ClimberIndex.build`` adopts it so query
+    metrics land on the same registry."""
+
     @property
     def phase_seconds(self) -> dict[str, float]:
         """Construction-phase breakdown (paper Fig. 10(a))."""
@@ -86,6 +97,7 @@ def build_index_artifacts(
     model: CostModel | None = None,
     redistribution: str = "flat",
     conversion: str = "fused",
+    telemetry: Telemetry | None = None,
 ) -> BuildArtifacts:
     """Run the full four-step construction workflow.
 
@@ -108,6 +120,14 @@ def build_index_artifacts(
         ``benchmarks/bench_conversion.py``.  Both produce bit-identical
         signatures, group indices and RNG stream positions, so the
         partitions they feed are byte-identical too.
+    telemetry:
+        :class:`~repro.obs.Telemetry` the build records per-stage spans
+        into (``build.skeleton_s``/``convert_s``/``redistribute_s``
+        histograms, per-block and per-encode task timings).  ``None``
+        creates one from ``config.telemetry`` — disabled by default, so
+        the build pays one flag check per stage.  Observation only: the
+        produced partitions, counters and RNG stream are bit-identical
+        with telemetry on or off.
     """
     import time
 
@@ -117,6 +137,9 @@ def build_index_artifacts(
         )
     if conversion not in ("fused", "legacy"):
         raise ConfigurationError(f"unknown conversion mode {conversion!r}")
+    tel = telemetry if telemetry is not None else (
+        Telemetry(enabled=True) if config.telemetry else NULL_TELEMETRY
+    )
     t0 = time.perf_counter()
     if dataset.length < config.word_length:
         raise ConfigurationError(
@@ -256,6 +279,10 @@ def build_index_artifacts(
         "build/skeleton/assemble",
         TaskCost(cpu_ops=len(distinct_ranked) * m * 8),
     )
+    if tel.enabled:
+        tel.registry.histogram("build.skeleton_s").observe(
+            time.perf_counter() - t0
+        )
 
     # ------------------------------------------------------------------ Step 4
     broadcast_bytes = len(SkeletonWithPivots(skeleton, pivots).to_bytes())
@@ -283,7 +310,8 @@ def build_index_artifacts(
         t_convert = time.perf_counter()
         if conversion == "fused":
             ranked_all, gids_all = _convert_fused(
-                dataset, pivots, assigner, w, m, executor=executor
+                dataset, pivots, assigner, w, m, executor=executor,
+                telemetry=tel,
             )
         else:
             ranked_all, gids_all = _convert_legacy(
@@ -296,7 +324,7 @@ def build_index_artifacts(
         if redistribution == "flat":
             written_bytes, n_written = _redistribute_flat(
                 dataset, skeleton, ranked_all, gids_all, dfs,
-                executor=executor,
+                executor=executor, telemetry=tel,
             )
         else:
             written_bytes, n_written = _redistribute_legacy(
@@ -305,6 +333,11 @@ def build_index_artifacts(
         wall_redistribute = time.perf_counter() - t_redist
     finally:
         executor.close()
+    if tel.enabled:
+        tel.registry.histogram("build.convert_s").observe(wall_convert)
+        tel.registry.histogram("build.redistribute_s").observe(
+            wall_redistribute
+        )
 
     sim.run_scaled_stage(
         "build/redistribute/shuffle",
@@ -317,18 +350,22 @@ def build_index_artifacts(
         min_tasks=n_written,
     )
 
+    wall_seconds = time.perf_counter() - t0
+    if tel.enabled:
+        tel.registry.histogram("build.wall_s").observe(wall_seconds)
     return BuildArtifacts(
         skeleton=skeleton,
         pivots=pivots,
         dfs=dfs,
         assigner=assigner,
         sim_report=sim.fresh_report(),
-        wall_seconds=time.perf_counter() - t0,
+        wall_seconds=wall_seconds,
         n_records=dataset.count,
         wall_phase_seconds={
             "convert": wall_convert,
             "redistribute": wall_redistribute,
         },
+        telemetry=tel,
     )
 
 
@@ -357,6 +394,7 @@ def _convert_fused(
     prefix_length: int,
     executor: Executor | None = None,
     block_rows: int = 4096,
+    telemetry: Telemetry = NULL_TELEMETRY,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Streamed full-data conversion into preallocated output arrays.
 
@@ -383,10 +421,16 @@ def _convert_fused(
          prefix_length)
         for start, end in spans
     ]
+    # Per-block task timing (build.convert.block_s + per-worker counters)
+    # only on shared-memory executors: the wrapper closes over registry
+    # locks and must not cross a pickle boundary into a process pool.
+    block_fn = _convert_block
+    if executor is None or executor.shares_memory:
+        block_fn = telemetry.wrap_tasks("build.convert.block", _convert_block)
     if executor is None:
-        results = map(_convert_block, tasks)
+        results = map(block_fn, tasks)
     else:
-        results = executor.map(_convert_block, tasks)
+        results = executor.map(block_fn, tasks)
     for (start, end), (ranked, gids, pending) in zip(spans, results):
         ranked_all[start:end] = ranked
         block = gids_all[start:end]
@@ -432,6 +476,7 @@ def _redistribute_flat(
     gids_all: np.ndarray,
     dfs: SimulatedDFS,
     executor: Executor | None = None,
+    telemetry: Telemetry = NULL_TELEMETRY,
 ) -> tuple[int, int]:
     """Bulk Step-4 redistribution over the CSR-compiled tries.
 
@@ -449,42 +494,61 @@ def _redistribute_flat(
     frozen inputs); stores and their counters run on this thread in
     partition order, so the stored bytes and every counter are identical
     to the serial path.  Process pools (no shared address space) and the
-    v1 in-memory object store fall back to the serial write loop.
+    v1 in-memory object store fall back to the serial write loop — and
+    since PR 7 that degrade is *visible*: a RuntimeWarning plus the
+    process-lifetime ``parallel.fallbacks`` counter, instead of silently
+    encoding on one core while the caller believes it is parallel.
     """
     shared = executor is not None and executor.n_workers > 1 \
         and executor.shares_memory
-    router = skeleton.flat_router(executor=executor if shared else None)
-    kid_of = router.route(ranked_all, gids_all)
-    order, parts = router.partition_layout(kid_of)
+    if executor is not None and executor.n_workers > 1 and not shared:
+        record_parallel_fallback(
+            "redistribution encodes need the caller's address space "
+            "(live engine handles are not picklable); encoding serially"
+        )
+    with telemetry.trace("build.redistribute.compile"):
+        router = skeleton.flat_router(executor=executor if shared else None)
+    with telemetry.trace("build.redistribute.route"):
+        kid_of = router.route(ranked_all, gids_all)
+        order, parts = router.partition_layout(kid_of)
     written_bytes = 0
-    if shared and dfs.stores_encoded:
-        engine = dfs.engine
-        series_length = int(dataset.values.shape[1])
+    if shared and not dfs.stores_encoded:
+        record_parallel_fallback(
+            "v1 in-memory object store holds live PartitionFile objects "
+            "(no encoded payloads to fan out); writing serially"
+        )
+    with telemetry.trace("build.redistribute.write"):
+        if shared and dfs.stores_encoded:
+            engine = dfs.engine
+            series_length = int(dataset.values.shape[1])
 
-        def encode(item):
-            pid, start, end, header = item
-            return engine.encode_arrays(
-                partition_name(pid), dataset.ids, dataset.values, header,
-                rows=order[start:end],
-            )
+            def encode(item):
+                pid, start, end, header = item
+                return engine.encode_arrays(
+                    partition_name(pid), dataset.ids, dataset.values, header,
+                    rows=order[start:end],
+                )
 
-        payloads = executor.map(encode, parts)
-        for (pid, start, end, header), payload in zip(parts, payloads):
-            written_bytes += dfs.write_encoded_partition(
-                partition_name(pid), payload,
-                record_count=end - start,
-                series_length=series_length,
-                header=header,
+            payloads = executor.map(
+                telemetry.wrap_tasks("build.redistribute.encode", encode),
+                parts,
             )
-    else:
-        for pid, start, end, header in parts:
-            written_bytes += dfs.write_partition_arrays(
-                partition_name(pid),
-                dataset.ids,
-                dataset.values,
-                header,
-                rows=order[start:end],
-            )
+            for (pid, start, end, header), payload in zip(parts, payloads):
+                written_bytes += dfs.write_encoded_partition(
+                    partition_name(pid), payload,
+                    record_count=end - start,
+                    series_length=series_length,
+                    header=header,
+                )
+        else:
+            for pid, start, end, header in parts:
+                written_bytes += dfs.write_partition_arrays(
+                    partition_name(pid),
+                    dataset.ids,
+                    dataset.values,
+                    header,
+                    rows=order[start:end],
+                )
     return written_bytes, len(parts)
 
 

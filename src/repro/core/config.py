@@ -95,6 +95,13 @@ class ClimberConfig:
         hot numpy kernels release the GIL, and thread pools share the
         index's object graph), ``"process"`` (pickle-friendly stages only;
         shared-structure stages fall back to threads), or ``"serial"``.
+    telemetry:
+        Enable the observability layer (:mod:`repro.obs`): per-stage build
+        spans, per-query latency histograms and ``explain_query`` probes.
+        Purely observational — query results, partition bytes and logical
+        DFS counters are bit-identical with it on or off (the obs parity
+        test proves it).  Off by default; disabled mode costs one
+        attribute lookup per gated site.
     """
 
     word_length: int = 16
@@ -115,6 +122,7 @@ class ClimberConfig:
     partition_format: str = "v2"
     n_workers: int | None = None
     executor: str = "thread"
+    telemetry: bool = False
 
     def __post_init__(self) -> None:
         if self.word_length < 1:

@@ -35,6 +35,7 @@ paper's access-volume metrics are independent of any caching.
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from dataclasses import dataclass
 
@@ -52,7 +53,7 @@ from repro.cluster import (
 from repro.core.assignment import GroupAssigner
 from repro.core.builder import BuildArtifacts, build_index_artifacts
 from repro.core.config import ClimberConfig
-from repro.core.parallel import make_executor, split_ranges
+from repro.core.parallel import SerialExecutor, make_executor, split_ranges
 from repro.core.routing import GroupCandidate, RoutingTable
 from repro.core.routing import select_primary as _select_primary
 from repro.core.skeleton import (
@@ -62,6 +63,13 @@ from repro.core.skeleton import (
 )
 from repro.core.trie import TrieNode
 from repro.exceptions import ConfigurationError
+from repro.obs import (
+    NULL_TELEMETRY,
+    OBS_SCHEMA,
+    QueryProbe,
+    Telemetry,
+    global_registry,
+)
 from repro.pivots import decay_weights, permutation_prefixes, wd_tie_tolerance
 from repro.series import (
     SeriesDataset,
@@ -116,7 +124,7 @@ class ClimberIndex:
     """A built CLIMBER index over one data series dataset."""
 
     def __init__(self, artifacts: BuildArtifacts, config: ClimberConfig,
-                 model: CostModel) -> None:
+                 model: CostModel, telemetry: Telemetry | None = None) -> None:
         self._art = artifacts
         self.config = config
         self.model = model
@@ -125,6 +133,26 @@ class ClimberIndex:
             config.prefix_length, config.decay, config.decay_rate
         )
         self._routing = RoutingTable(artifacts.skeleton, self._weights)
+        # Telemetry resolution: an explicit argument wins; else adopt the
+        # build's telemetry (so build.* and query.* metrics share one
+        # registry); else create one per index from config.telemetry —
+        # never the shared NULL_TELEMETRY singleton, so stats()/
+        # reset_stats() always scope to this index.
+        if telemetry is not None:
+            self._tel = telemetry
+        elif artifacts.telemetry is not NULL_TELEMETRY:
+            self._tel = artifacts.telemetry
+        else:
+            self._tel = Telemetry(enabled=config.telemetry)
+
+    @property
+    def telemetry(self) -> Telemetry:
+        """This index's telemetry (latency recording honours ``.enabled``)."""
+        return self._tel
+
+    @telemetry.setter
+    def telemetry(self, telemetry: Telemetry) -> None:
+        self._tel = telemetry
 
     # -- construction -------------------------------------------------------------
 
@@ -136,18 +164,23 @@ class ClimberIndex:
         dfs=None,
         model: CostModel | None = None,
         conversion: str = "fused",
+        telemetry: Telemetry | None = None,
     ) -> "ClimberIndex":
         """Build the index (paper Fig. 6); see :class:`ClimberConfig`.
 
         ``conversion`` selects the Step-4 signature-conversion pipeline
         (``"fused"`` streamed blocks / ``"legacy"`` per-chunk reference);
         both yield bit-identical indexes — see
-        :func:`~repro.core.builder.build_index_artifacts`.
+        :func:`~repro.core.builder.build_index_artifacts`.  ``telemetry``
+        overrides the :class:`~repro.obs.Telemetry` the build and the
+        returned index record into (default: created from
+        ``config.telemetry``).
         """
         config = config or ClimberConfig()
         model = model or CostModel()
         artifacts = build_index_artifacts(
-            dataset, config, dfs=dfs, model=model, conversion=conversion
+            dataset, config, dfs=dfs, model=model, conversion=conversion,
+            telemetry=telemetry,
         )
         return cls(artifacts, config, model)
 
@@ -571,6 +604,7 @@ class ClimberIndex:
         k: int,
         variant: str = "adaptive",
         adaptive_factor: int | None = None,
+        _probe: QueryProbe | None = None,
     ) -> QueryResult:
         """Approximate kNN query (Def. 4).
 
@@ -587,13 +621,21 @@ class ClimberIndex:
             defaults to ``config.adaptive_factor``.
         """
         self._validate_query_args(k, variant)
+        probe = _probe if _probe is not None else self._tel.probe()
         t0 = time.perf_counter()
-        ranked = self.query_signature(query)
         od_slack = 1 if variant == "adaptive" else 0
-        candidates = self.group_candidates(ranked, od_slack=od_slack)
+        if probe is None:
+            ranked = self.query_signature(query)
+            candidates = self.group_candidates(ranked, od_slack=od_slack)
+        else:
+            with probe.stage("signature"):
+                ranked = self.query_signature(query)
+            with probe.stage("route"):
+                candidates = self.group_candidates(ranked, od_slack=od_slack)
         return self._knn_routed(
             np.asarray(query, dtype=np.float64),
             k, variant, adaptive_factor, candidates, t0,
+            probe=probe,
         )
 
     def knn_batch(
@@ -602,6 +644,7 @@ class ClimberIndex:
         k: int,
         variant: str = "adaptive",
         adaptive_factor: int | None = None,
+        _probes: list[QueryProbe] | None = None,
     ) -> list[QueryResult]:
         """Answer a batch of kNN queries (rows of ``queries``).
 
@@ -634,11 +677,29 @@ class ClimberIndex:
             arr = arr.reshape(1, -1)
         if arr.shape[0] == 0:
             return []
+        tel = self._tel
+        # Per-row probes: explicit (explain_query) or implicit when
+        # telemetry is enabled.  The shared signature/routing work is
+        # amortised evenly across the rows' probes, mirroring the
+        # shared_share treatment of wall_seconds below.
+        probes = _probes
+        if probes is None and tel.enabled:
+            probes = [QueryProbe() for _ in range(arr.shape[0])]
+        if probes is not None and len(probes) != arr.shape[0]:
+            raise ConfigurationError(
+                f"{len(probes)} probes for {arr.shape[0]} query rows"
+            )
         t0 = time.perf_counter()
         paa = paa_transform(arr, self.config.word_length)
         ranked = permutation_prefixes(
             paa, self._art.pivots, self.config.prefix_length
         )
+        if probes is not None:
+            sig_s = time.perf_counter() - t0
+            if tel.enabled:
+                tel.registry.histogram("query.batch.signature_s").observe(sig_s)
+            for probe in probes:
+                probe.add_stage("signature", sig_s / arr.shape[0])
         od_slack = 1 if variant == "adaptive" else 0
         # Identical signatures route identically, so the OD/WD matrices are
         # computed once per *distinct* signature and fanned back out.  Row
@@ -653,6 +714,7 @@ class ClimberIndex:
         # RNG-free shard scans.
         candidates_of = []
         primaries = []
+        t_route = time.perf_counter()
         for i in range(arr.shape[0]):
             row = int(inverse[i])
             candidates_of.append(
@@ -661,6 +723,12 @@ class ClimberIndex:
                 )
             )
             primaries.append(self.select_primary(candidates_of[-1]))
+        if probes is not None:
+            route_s = time.perf_counter() - t_route
+            if tel.enabled:
+                tel.registry.histogram("query.batch.route_s").observe(route_s)
+            for probe in probes:
+                probe.add_stage("route", route_s / arr.shape[0])
         # The shared signature/routing span is amortised evenly over the
         # rows so per-query wall_seconds stay comparable to knn's.
         shared_share = (time.perf_counter() - t0) / arr.shape[0]
@@ -672,15 +740,24 @@ class ClimberIndex:
                     arr[i], k, variant, adaptive_factor, candidates_of[i],
                     time.perf_counter() - shared_share,
                     primary=primaries[i],
+                    probe=probes[i] if probes is not None else None,
                 )
                 for i in range(start, end)
             ]
 
         cfg = self.config
-        with make_executor(cfg.executor, cfg.effective_n_workers,
-                           require_shared_memory=True) as executor:
+        if _probes is not None:
+            # Explicitly probed batches (explain_query) run serially so
+            # per-row DFS cache-delta attribution is exact — concurrent
+            # shards would interleave hits/misses across rows.
+            executor = SerialExecutor()
+        else:
+            executor = make_executor(cfg.executor, cfg.effective_n_workers,
+                                     require_shared_memory=True)
+        with executor:
             shards = executor.map(
-                run_shard, split_ranges(arr.shape[0], _QUERY_SHARD_ROWS)
+                tel.wrap_tasks("query.shard", run_shard),
+                split_ranges(arr.shape[0], _QUERY_SHARD_ROWS),
             )
         return [result for shard in shards for result in shard]
 
@@ -693,6 +770,7 @@ class ClimberIndex:
         candidates: list[GroupCandidate],
         t0: float,
         primary: GroupCandidate | None = None,
+        probe: QueryProbe | None = None,
     ) -> QueryResult:
         """Stages 3-4 of the pipeline: node selection + record scan.
 
@@ -700,9 +778,18 @@ class ClimberIndex:
         selects primaries for all rows serially, pinning the RNG stream,
         before fanning the RNG-free remainder out to worker shards);
         when omitted it is selected here, consuming ``self._rng``.
+
+        ``probe`` (when given) collects the select/read/refine stage
+        timings and the per-query DFS cache hit/miss delta.  Probing is
+        observation only — the answer set, stats and counters are
+        bit-identical with or without it; the cache delta is exact when
+        rows run serially and approximate under concurrent shards (other
+        rows' hits/misses interleave, as any shared cache's do).
         """
         sim = ClusterSimulator(self.model)
         cfg = self.config
+        if probe is not None:
+            t_mark = time.perf_counter()
         if primary is None:
             primary = self.select_primary(candidates)
 
@@ -757,6 +844,12 @@ class ClimberIndex:
             for pid in sorted(pids):
                 to_load.setdefault(partition_name(pid), []).extend(keys)
 
+        if probe is not None:
+            now = time.perf_counter()
+            probe.add_stage("select", now - t_mark)
+            t_mark = now
+            counters_before = getattr(self.dfs, "counters", None)
+
         ids_parts: list[np.ndarray] = []
         val_parts: list[np.ndarray] = []
         loaded = []
@@ -801,6 +894,21 @@ class ClimberIndex:
                 ids_parts.append(cid)
                 val_parts.append(cval)
 
+        if probe is not None:
+            now = time.perf_counter()
+            probe.add_stage("read", now - t_mark)
+            t_mark = now
+            if counters_before is not None:
+                counters_after = self.dfs.counters
+                probe.add_count(
+                    "cache_hits",
+                    counters_after.cache_hits - counters_before.cache_hits,
+                )
+                probe.add_count(
+                    "cache_misses",
+                    counters_after.cache_misses - counters_before.cache_misses,
+                )
+
         if ids_parts:
             all_ids = np.concatenate(ids_parts)
             all_vals = np.vstack(val_parts)
@@ -810,6 +918,10 @@ class ClimberIndex:
             ids = np.empty(0, dtype=np.int64)
             dists = np.empty(0, dtype=np.float64)
             examined = 0
+
+        if probe is not None:
+            probe.add_stage("refine", time.perf_counter() - t_mark)
+            probe.add_count("candidates_scored", examined)
 
         sim.run_stage("query/scan", scan_costs)
         report = sim.fresh_report()
@@ -828,4 +940,133 @@ class ClimberIndex:
             sim_seconds=report.total_seconds,
             wall_seconds=time.perf_counter() - t0,
         )
+        tel = self._tel
+        if tel.enabled:
+            tel.record_query(stats, probe)
         return QueryResult(ids, dists, stats)
+
+    # -- observability surface ---------------------------------------------------------
+
+    @staticmethod
+    def _explain_entry(result: QueryResult, probe: QueryProbe) -> dict:
+        """One query's structured breakdown (explain_query response body)."""
+        stats = result.stats
+        return {
+            "variant": stats.variant,
+            "k": stats.k,
+            "stages": {name: seconds for name, seconds in probe.stages.items()},
+            "partitions_probed": stats.n_partitions,
+            "partitions": list(stats.partitions_loaded),
+            "bytes_read": stats.data_bytes,
+            "records_examined": stats.records_examined,
+            "cache": {
+                "hits": probe.counts.get("cache_hits", 0),
+                "misses": probe.counts.get("cache_misses", 0),
+            },
+            "best_od": stats.best_od,
+            "groups_considered": list(stats.group_ids),
+            "n_selected_nodes": stats.n_selected_nodes,
+            "expanded_within_partition": stats.expanded_within_partition,
+            "sim_seconds": stats.sim_seconds,
+            "wall_seconds": stats.wall_seconds,
+            "ids": [int(i) for i in result.ids],
+            "distances": [float(d) for d in result.distances],
+        }
+
+    def explain_query(
+        self,
+        query: np.ndarray,
+        k: int,
+        variant: str = "adaptive",
+        adaptive_factor: int | None = None,
+    ) -> dict:
+        """Run a query and return its structured per-stage breakdown.
+
+        The query-plan view of one ``knn`` call (1-D ``query``) or one
+        ``knn_batch`` call (2-D ``query``): per-stage wall timings
+        (signature/route/select/read/refine), partitions probed, logical
+        bytes read, records examined, DFS cache hits/misses, and the
+        answer set itself — everything JSON-able, stamped with
+        :data:`~repro.obs.OBS_SCHEMA`.
+
+        Works regardless of ``config.telemetry`` (probes are attached
+        explicitly for this call).  The query *runs for real*: it consumes
+        the index RNG stream exactly like the equivalent ``knn`` /
+        ``knn_batch`` call and charges the DFS logical counters — explain
+        is a probed query, not a dry run.  Batch rows execute serially so
+        each row's cache delta is attributed exactly.
+        """
+        arr = np.asarray(query, dtype=np.float64)
+        if arr.ndim == 1:
+            probe = QueryProbe()
+            result = self.knn(arr, k, variant, adaptive_factor, _probe=probe)
+            entry = self._explain_entry(result, probe)
+            entry["schema"] = OBS_SCHEMA
+            entry["mode"] = "knn"
+            return entry
+        probes = [QueryProbe() for _ in range(arr.shape[0])]
+        results = self.knn_batch(arr, k, variant, adaptive_factor,
+                                 _probes=probes)
+        entries = [
+            self._explain_entry(result, probe)
+            for result, probe in zip(results, probes)
+        ]
+        return {
+            "schema": OBS_SCHEMA,
+            "mode": "knn_batch",
+            "batch_size": len(entries),
+            "shared_stages": ["signature", "route"],
+            "queries": entries,
+            "totals": {
+                "partitions_probed": sum(
+                    e["partitions_probed"] for e in entries
+                ),
+                "bytes_read": sum(e["bytes_read"] for e in entries),
+                "records_examined": sum(
+                    e["records_examined"] for e in entries
+                ),
+                "cache_hits": sum(e["cache"]["hits"] for e in entries),
+                "cache_misses": sum(e["cache"]["misses"] for e in entries),
+                "wall_seconds": sum(e["wall_seconds"] for e in entries),
+            },
+        }
+
+    def stats(self) -> dict:
+        """Process-lifetime aggregates of this index, as one JSON-able dict.
+
+        Four sections: a structural ``index`` summary, the index-scoped
+        ``metrics`` registry (build spans, query histograms and counters —
+        populated when telemetry is enabled), the always-on ``dfs``
+        logical counters (+ cache occupancy), and the ``process`` global
+        registry (cross-cutting counters like ``parallel.fallbacks``).
+        """
+        dfs_counters = getattr(self.dfs, "counters", None)
+        dfs_section: dict[str, object] = {}
+        if dataclasses.is_dataclass(dfs_counters):
+            dfs_section = dataclasses.asdict(dfs_counters)
+        cache_used = getattr(self.dfs, "cache_used_bytes", None)
+        if cache_used is not None:
+            dfs_section["cache_used_bytes"] = cache_used
+        return {
+            "schema": OBS_SCHEMA,
+            "telemetry_enabled": self._tel.enabled,
+            "index": {
+                "records": self.n_records,
+                "groups": self.n_groups,
+                "partitions": self.n_partitions,
+            },
+            "metrics": self._tel.registry.snapshot(),
+            "dfs": dfs_section,
+            "process": global_registry().snapshot(),
+        }
+
+    def reset_stats(self) -> None:
+        """Zero this index's metric registry (histograms, query counters).
+
+        Scoped on purpose: the DFS *logical* counters (paper access-volume
+        accounting) and the process-global registry are not touched —
+        reset them via ``dfs.registry.reset()`` /
+        ``repro.obs.global_registry().reset()`` explicitly if a test needs
+        a clean slate.
+        """
+        self._tel.registry.reset()

@@ -34,10 +34,12 @@ pin this down.
 from __future__ import annotations
 
 import os
+import warnings
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, Iterable, Sequence, TypeVar
 
 from repro.exceptions import ConfigurationError
+from repro.obs import global_registry
 
 __all__ = [
     "Executor",
@@ -47,6 +49,7 @@ __all__ = [
     "EXECUTOR_KINDS",
     "resolve_n_workers",
     "make_executor",
+    "record_parallel_fallback",
     "split_ranges",
 ]
 
@@ -160,6 +163,22 @@ class ProcessExecutor(Executor):
         self._pool.shutdown(wait=True, cancel_futures=True)
 
 
+def record_parallel_fallback(reason: str) -> None:
+    """Make a parallelism downgrade visible instead of silent.
+
+    Bumps the process-lifetime ``parallel.fallbacks`` counter (always on —
+    it surfaces in ``index.stats()`` and every BENCH artifact's
+    ``process_metrics``) and warns, so a run that quietly degraded from
+    the requested executor can be diagnosed after the fact.  The fallback
+    itself stays correct-by-construction (bit-identical results); only
+    its *visibility* changes.
+    """
+    global_registry().counter("parallel.fallbacks").inc()
+    warnings.warn(
+        f"parallel execution degraded: {reason}", RuntimeWarning, stacklevel=3
+    )
+
+
 def make_executor(
     kind: str = "thread",
     n_workers: int | None = None,
@@ -172,6 +191,8 @@ def make_executor(
     :class:`SerialExecutor`, so a single code path serves both modes.
     With ``require_shared_memory`` a ``"process"`` request degrades to
     threads — used by call sites whose tasks share live object graphs.
+    The degrade is recorded via :func:`record_parallel_fallback` (warning
+    + ``parallel.fallbacks`` counter) so it is never silent.
     """
     if kind not in EXECUTOR_KINDS:
         raise ConfigurationError(
@@ -181,6 +202,10 @@ def make_executor(
     if n == 1 or kind == "serial":
         return SerialExecutor()
     if kind == "process" and require_shared_memory:
+        record_parallel_fallback(
+            "process executor requested for a shared-memory stage "
+            "(tasks hand live object graphs across workers); using threads"
+        )
         kind = "thread"
     if kind == "thread":
         return ThreadExecutor(n)

@@ -1,0 +1,57 @@
+"""Observability layer: metrics registry, span tracing, query probes.
+
+The cross-cutting telemetry subsystem (PR 7).  Three pieces:
+
+* :mod:`repro.obs.metrics` — thread-safe :class:`MetricsRegistry` of
+  :class:`Counter`/:class:`Gauge`/:class:`Histogram` (fixed log-spaced
+  buckets, p50/p90/p99 snapshots), exported as one JSON-able dict
+  stamped :data:`OBS_SCHEMA`.
+* :mod:`repro.obs.trace` — ``with trace("route"):`` span timing with a
+  shared no-op singleton when disabled, :class:`QueryProbe` per-query
+  stage collection, and the process-lifetime :func:`global_registry`
+  that hosts counters like ``parallel.fallbacks``.
+* The gating rule: latency recording is opt-in
+  (``ClimberConfig(telemetry=True)`` / ``Telemetry(enabled=True)``) and
+  costs one attribute lookup when off; *logical* counters (DFS access
+  volume, parallel fallbacks) are always on — parity suites and BENCH
+  artifacts depend on them.
+
+Entry points on the index: ``ClimberIndex.stats()``, ``reset_stats()``
+and ``explain_query()``.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BOUNDS,
+    OBS_SCHEMA,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.trace import (
+    NULL_SPAN,
+    NULL_TELEMETRY,
+    QueryProbe,
+    Span,
+    Telemetry,
+    global_registry,
+    global_telemetry,
+    trace,
+)
+
+__all__ = [
+    "DEFAULT_LATENCY_BOUNDS",
+    "OBS_SCHEMA",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "NULL_TELEMETRY",
+    "QueryProbe",
+    "Span",
+    "Telemetry",
+    "global_registry",
+    "global_telemetry",
+    "trace",
+]

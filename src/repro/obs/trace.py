@@ -1,0 +1,222 @@
+"""Span tracing and per-query probes on top of the metrics registry.
+
+The gating contract — what "zero overhead when disabled" means here:
+
+* Every :class:`Telemetry` carries a plain ``enabled`` bool attribute.
+  Hot paths hold the telemetry object in a local and branch on
+  ``tel.enabled`` — disabled mode costs one attribute lookup plus the
+  branch, nothing else (no lock, no clock read, no allocation).
+  ``trace()`` on a disabled telemetry returns the shared
+  :data:`NULL_SPAN` singleton, so even un-gated ``with tel.trace(...)``
+  blocks allocate nothing.
+* Logical counters are *not* gated.  The DFS access-volume counters and
+  the ``parallel.fallbacks`` counter are correctness/diagnostic surfaces
+  that parity tests and BENCH artifacts depend on; they always record.
+  Only latency spans, histograms and per-query probes honour
+  ``enabled``.
+* Telemetry objects hold locks and must not cross process boundaries.
+  :meth:`Telemetry.wrap_tasks` is therefore only applied by callers when
+  the executor shares memory (see ``core/builder.py``).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.obs.metrics import OBS_SCHEMA, MetricsRegistry
+
+__all__ = [
+    "NULL_SPAN",
+    "NULL_TELEMETRY",
+    "QueryProbe",
+    "Span",
+    "Telemetry",
+    "global_registry",
+    "global_telemetry",
+    "trace",
+]
+
+
+class _NullSpan:
+    """Shared no-op context manager returned by disabled telemetry."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """Times a ``with`` block into ``<name>_s`` on a registry histogram."""
+
+    __slots__ = ("_histogram", "_t0", "seconds")
+
+    def __init__(self, histogram) -> None:
+        self._histogram = histogram
+        self._t0 = 0.0
+        self.seconds = 0.0
+
+    def __enter__(self):
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc):
+        self.seconds = time.perf_counter() - self._t0
+        self._histogram.observe(self.seconds)
+        return False
+
+
+class QueryProbe:
+    """Per-query stage breakdown collected along one knn/knn_batch row.
+
+    Not thread-safe and not meant to be: one probe belongs to exactly one
+    query row.  ``stages`` maps stage name -> seconds; ``counts`` holds
+    auxiliary integers (cache hits/misses deltas, candidate counts).
+    ``explain_query`` turns probes into its structured response.
+    """
+
+    __slots__ = ("stages", "counts")
+
+    def __init__(self) -> None:
+        self.stages: dict[str, float] = {}
+        self.counts: dict[str, int] = {}
+
+    def stage(self, name: str):
+        return _ProbeSpan(self, name)
+
+    def add_stage(self, name: str, seconds: float) -> None:
+        self.stages[name] = self.stages.get(name, 0.0) + seconds
+
+    def add_count(self, name: str, n: int) -> None:
+        self.counts[name] = self.counts.get(name, 0) + n
+
+
+class _ProbeSpan:
+    """Times a ``with`` block into one probe stage (accumulating)."""
+
+    __slots__ = ("_probe", "_name", "_t0")
+
+    def __init__(self, probe: QueryProbe, name: str) -> None:
+        self._probe = probe
+        self._name = name
+        self._t0 = 0.0
+
+    def __enter__(self):
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc):
+        self._probe.add_stage(self._name, time.perf_counter() - self._t0)
+        return False
+
+
+class Telemetry:
+    """A registry plus the enabled flag that gates all latency recording.
+
+    ``Telemetry(enabled=False)`` (the default everywhere) still exposes a
+    live registry — always-on counters record through it — but
+    :meth:`trace` returns :data:`NULL_SPAN` and :meth:`record_query` /
+    :meth:`wrap_tasks` become no-ops, so the query and build hot paths
+    pay only the ``tel.enabled`` attribute check.
+    """
+
+    __slots__ = ("enabled", "registry")
+
+    def __init__(self, enabled: bool = False,
+                 registry: MetricsRegistry | None = None) -> None:
+        self.enabled = enabled
+        self.registry = registry if registry is not None else MetricsRegistry()
+
+    def trace(self, name: str):
+        """Span over ``<name>_s`` when enabled, the shared no-op otherwise."""
+        if not self.enabled:
+            return NULL_SPAN
+        return Span(self.registry.histogram(name + "_s"))
+
+    def probe(self) -> QueryProbe | None:
+        """A fresh :class:`QueryProbe` when enabled, else ``None``."""
+        return QueryProbe() if self.enabled else None
+
+    def wrap_tasks(self, name: str, fn):
+        """Wrap an executor task fn with per-task and per-worker timing.
+
+        Records one observation into ``<name>_s`` per task plus
+        ``parallel.worker.<thread>.tasks`` / ``...busy_s`` counters keyed
+        by the executing thread, surfacing per-worker load from the
+        ``core/parallel.py`` executors.  Returns ``fn`` unchanged when
+        disabled.  Only safe for shared-memory executors (the wrapper
+        closes over locks and is not picklable for process pools).
+        """
+        if not self.enabled:
+            return fn
+        histogram = self.registry.histogram(name + "_s")
+        registry = self.registry
+
+        def timed(*args, **kwargs):
+            t0 = time.perf_counter()
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                dt = time.perf_counter() - t0
+                histogram.observe(dt)
+                worker = threading.current_thread().name
+                registry.counter(f"parallel.worker.{worker}.tasks").inc()
+                registry.counter(f"parallel.worker.{worker}.busy_s").inc(dt)
+
+        return timed
+
+    def record_query(self, stats, probe: QueryProbe | None = None) -> None:
+        """Fold one query's stats (and optional probe) into the registry."""
+        if not self.enabled:
+            return
+        reg = self.registry
+        reg.counter("query.count").inc()
+        reg.counter("query.partitions_probed").inc(len(stats.partitions_loaded))
+        reg.counter("query.bytes_read").inc(stats.data_bytes)
+        reg.counter("query.records_examined").inc(stats.records_examined)
+        reg.histogram("query.wall_s").observe(stats.wall_seconds)
+        if probe is not None:
+            for name, seconds in probe.stages.items():
+                reg.histogram(f"query.stage.{name}_s").observe(seconds)
+            for name, n in probe.counts.items():
+                reg.counter(f"query.{name}").inc(n)
+
+    def snapshot(self) -> dict:
+        return {
+            "schema": OBS_SCHEMA,
+            "enabled": self.enabled,
+            "metrics": self.registry.snapshot(),
+        }
+
+
+#: Shared disabled telemetry for call sites that need *some* telemetry
+#: object but were handed none.  Its registry is live (always-on counters
+#: still record) but no spans/histograms ever fire through it.
+NULL_TELEMETRY = Telemetry(enabled=False)
+
+#: Process-lifetime telemetry hosting cross-cutting counters
+#: (``parallel.fallbacks``) and anything recorded via the module-level
+#: :func:`trace`.  Disabled by default; flip ``global_telemetry().enabled``
+#: to capture module-level spans.
+_GLOBAL_TELEMETRY = Telemetry(enabled=False)
+
+
+def global_telemetry() -> Telemetry:
+    return _GLOBAL_TELEMETRY
+
+
+def global_registry() -> MetricsRegistry:
+    """The process-lifetime registry (``parallel.fallbacks`` lives here)."""
+    return _GLOBAL_TELEMETRY.registry
+
+
+def trace(name: str):
+    """``with trace("route"):`` against the process-lifetime telemetry."""
+    return _GLOBAL_TELEMETRY.trace(name)

@@ -43,6 +43,7 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro.exceptions import PartitionNotFoundError, StorageError
+from repro.obs import MetricsRegistry
 from repro.series import series_nbytes
 from repro.storage.engine import LocalDiskBackend, MemoryBackend, StorageEngine
 from repro.storage.engine.engine import PartitionHandle
@@ -68,6 +69,17 @@ class DfsCounters:
     partitions_read: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+
+    #: (field name, registry metric name) — the re-homing map between this
+    #: value object and the ``dfs.*`` counters on a MetricsRegistry.
+    METRIC_NAMES = (
+        ("bytes_written", "dfs.bytes_written"),
+        ("bytes_read", "dfs.bytes_read"),
+        ("partitions_written", "dfs.partitions_written"),
+        ("partitions_read", "dfs.partitions_read"),
+        ("cache_hits", "dfs.cache_hits"),
+        ("cache_misses", "dfs.cache_misses"),
+    )
 
     def snapshot(self) -> "DfsCounters":
         return DfsCounters(
@@ -96,6 +108,13 @@ class SimulatedDFS:
         the zero-copy columnar format) or ``"v1"`` (the legacy blob
         stream).  Reads sniff the stored format, so mixed directories and
         old payloads stay readable regardless of this setting.
+    registry:
+        :class:`~repro.obs.MetricsRegistry` the I/O counters live on as
+        ``dfs.*`` counters (PR 7 re-homed them there so DFS accounting
+        shares the observability schema).  ``None`` (the default) creates
+        a private registry.  The :attr:`counters` property still returns
+        a :class:`DfsCounters` snapshot with the exact same logical
+        semantics the parity suites pin down.
     """
 
     def __init__(
@@ -104,6 +123,7 @@ class SimulatedDFS:
         backing_dir: str | Path | None = None,
         cache_bytes: int = 0,
         partition_format: str = "v2",
+        registry: MetricsRegistry | None = None,
     ) -> None:
         if block_bytes < 1024:
             raise StorageError("block_bytes must be >= 1024")
@@ -133,7 +153,32 @@ class SimulatedDFS:
         # single coarse lock keeps the invariants simple without becoming
         # the bottleneck.
         self._lock = threading.RLock()
-        self.counters = DfsCounters()
+        # Logical counters live on a MetricsRegistry as dfs.* counters (one
+        # schema across the repo); handles are cached so the hot paths pay
+        # one .inc() each.  They are always on — never gated on telemetry —
+        # because the paper's access-volume metrics and the parity suites
+        # are built on them.
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._metric_handles = tuple(
+            self.registry.counter(metric)
+            for _, metric in DfsCounters.METRIC_NAMES
+        )
+        (self._c_bytes_written, self._c_bytes_read,
+         self._c_partitions_written, self._c_partitions_read,
+         self._c_cache_hits, self._c_cache_misses) = self._metric_handles
+
+    @property
+    def counters(self) -> DfsCounters:
+        """Logical I/O counters, as a consistent :class:`DfsCounters` value.
+
+        Snapshotted under the DFS lock, so the six fields are mutually
+        consistent even while readers/writers run concurrently.  The
+        semantics are unchanged from the pre-registry implementation:
+        logical, format- and cache-independent reads/writes; physical
+        cache hit/miss tallies.
+        """
+        with self._lock:
+            return DfsCounters(*(h.value for h in self._metric_handles))
 
     @property
     def partition_format(self) -> str:
@@ -204,8 +249,8 @@ class SimulatedDFS:
             self._cache_evict(pid)
             self._register(pid, nbytes, partition.record_count,
                            partition.series_length)
-            self.counters.bytes_written += nbytes
-            self.counters.partitions_written += 1
+            self._c_bytes_written.inc(nbytes)
+            self._c_partitions_written.inc()
 
     def write_partition_arrays(
         self,
@@ -247,8 +292,8 @@ class SimulatedDFS:
                                           rows=rows)
             self._cache_evict(partition_id)
             self._register(partition_id, nbytes, record_count, series_length)
-            self.counters.bytes_written += nbytes
-            self.counters.partitions_written += 1
+            self._c_bytes_written.inc(nbytes)
+            self._c_partitions_written.inc()
         return nbytes
 
     @property
@@ -287,8 +332,8 @@ class SimulatedDFS:
             self._engine.write_payload(partition_id, payload)
             self._cache_evict(partition_id)
             self._register(partition_id, nbytes, record_count, series_length)
-            self.counters.bytes_written += nbytes
-            self.counters.partitions_written += 1
+            self._c_bytes_written.inc(nbytes)
+            self._c_partitions_written.inc()
         return nbytes
 
     def read_partition(self, partition_id: str) -> PartitionHandle:
@@ -308,15 +353,15 @@ class SimulatedDFS:
                 raise PartitionNotFoundError(f"no partition {partition_id!r}")
             # Logical accounting is cache-independent: the paper's
             # access-volume metrics charge every partition touch.
-            self.counters.bytes_read += self._sizes[partition_id]
-            self.counters.partitions_read += 1
+            self._c_bytes_read.inc(self._sizes[partition_id])
+            self._c_partitions_read.inc()
             if self.cache_bytes:
                 cached = self._cache.get(partition_id)
                 if cached is not None:
-                    self.counters.cache_hits += 1
+                    self._c_cache_hits.inc()
                     self._cache.move_to_end(partition_id)
                     return cached
-                self.counters.cache_misses += 1
+                self._c_cache_misses.inc()
             if self._object_store():
                 part: PartitionHandle = self._partitions[partition_id]
             else:
