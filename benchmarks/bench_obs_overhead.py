@@ -11,6 +11,10 @@ against the same disk-backed index:
   sides of the gate's denominator);
 * **disabled** — a fresh ``Telemetry(enabled=False)`` with its own
   registry, the out-of-the-box configuration;
+* **sampled** — ``Telemetry(enabled=True, sample_every=16)`` (PR 8):
+  1-in-16 queries carry a live probe and full metrics, the rest pay one
+  counter increment.  Held to the same gate as disabled — sampling is
+  the always-on production configuration;
 * **enabled** — ``Telemetry(enabled=True)``: full per-query probes,
   stage histograms and counters (reported informationally, not gated).
 
@@ -44,7 +48,8 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 OUT_PATH = REPO_ROOT / "BENCH_obs_overhead.json"
 SAMPLE_PATH = RESULTS_DIR / "explain_query_sample.json"
 
-OVERHEAD_GATE = 0.02  # disabled-mode overhead ceiling (2%)
+OVERHEAD_GATE = 0.02  # disabled- and sampled-mode overhead ceiling (2%)
+SAMPLE_EVERY = 16     # sampled-mode probe rate (1 in N queries)
 
 
 def operating_point(smoke: bool):
@@ -85,6 +90,8 @@ def measure_modes(blob: bytes, config: ClimberConfig, dfs_dir: Path,
     modes = {
         "absent": reopen(NULL_TELEMETRY),
         "disabled": reopen(Telemetry(enabled=False)),
+        "sampled": reopen(Telemetry(enabled=True,
+                                    sample_every=SAMPLE_EVERY)),
         "enabled": reopen(Telemetry(enabled=True)),
     }
     best = {name: float("inf") for name in modes}
@@ -107,9 +114,12 @@ def measure_modes(blob: bytes, config: ClimberConfig, dfs_dir: Path,
         "wall_s": best,
         "us_per_query": {m: 1e6 * s / n for m, s in best.items()},
         "qps": {m: n / s for m, s in best.items()},
+        "sample_every": SAMPLE_EVERY,
         "disabled_overhead": best["disabled"] / best["absent"] - 1.0,
+        "sampled_overhead": best["sampled"] / best["absent"] - 1.0,
         "enabled_overhead": best["enabled"] / best["absent"] - 1.0,
         "enabled_query_metrics": enabled_metrics,
+        "sampled_query_metrics": modes["sampled"].stats()["metrics"],
     }
 
 
@@ -161,6 +171,9 @@ def main() -> None:
           f"absent {overhead['us_per_query']['absent']:.1f} us/q, "
           f"disabled {overhead['us_per_query']['disabled']:.1f} us/q "
           f"({100 * overhead['disabled_overhead']:+.2f}%), "
+          f"sampled(1/{SAMPLE_EVERY}) "
+          f"{overhead['us_per_query']['sampled']:.1f} us/q "
+          f"({100 * overhead['sampled_overhead']:+.2f}%), "
           f"enabled {overhead['us_per_query']['enabled']:.1f} us/q "
           f"({100 * overhead['enabled_overhead']:+.2f}%)")
 
@@ -175,12 +188,13 @@ def main() -> None:
     }
     # The gate gates the artifact too: an over-budget disabled mode is a
     # regression, and its numbers must never overwrite committed results.
-    if overhead["disabled_overhead"] > OVERHEAD_GATE:
-        raise SystemExit(
-            f"overhead gate failed: disabled telemetry costs "
-            f"{100 * overhead['disabled_overhead']:+.2f}% "
-            f"(> {100 * OVERHEAD_GATE:.0f}%); results not written"
-        )
+    for gated in ("disabled", "sampled"):
+        if overhead[f"{gated}_overhead"] > OVERHEAD_GATE:
+            raise SystemExit(
+                f"overhead gate failed: {gated} telemetry costs "
+                f"{100 * overhead[f'{gated}_overhead']:+.2f}% "
+                f"(> {100 * OVERHEAD_GATE:.0f}%); results not written"
+            )
     OUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {OUT_PATH}")
 

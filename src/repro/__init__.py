@@ -23,9 +23,13 @@ from repro.exceptions import (
     DimensionalityError,
     IndexNotBuiltError,
     MemoryBudgetExceeded,
+    PartitionCorruptError,
+    PartitionLostError,
     PartitionNotFoundError,
+    ReadTimeoutError,
     ReproError,
     StorageError,
+    TransientReadError,
 )
 
 __version__ = "1.0.0"
@@ -37,6 +41,10 @@ __all__ = [
     "IndexNotBuiltError",
     "StorageError",
     "PartitionNotFoundError",
+    "PartitionCorruptError",
+    "PartitionLostError",
+    "TransientReadError",
+    "ReadTimeoutError",
     "MemoryBudgetExceeded",
     "ClimberConfig",
     "ClimberIndex",
@@ -45,6 +53,9 @@ __all__ = [
     "random_walk_dataset",
     "make_dataset",
     "sample_queries",
+    "FaultPlan",
+    "FaultInjector",
+    "RetryPolicy",
     "__version__",
 ]
 
@@ -59,6 +70,10 @@ def __getattr__(name):
         from repro import core
 
         return getattr(core, name)
+    if name in ("FaultPlan", "FaultInjector", "RetryPolicy"):
+        from repro import resilience
+
+        return getattr(resilience, name)
     if name == "SeriesDataset":
         from repro.series import SeriesDataset
 

@@ -138,7 +138,8 @@ def build_index_artifacts(
     if conversion not in ("fused", "legacy"):
         raise ConfigurationError(f"unknown conversion mode {conversion!r}")
     tel = telemetry if telemetry is not None else (
-        Telemetry(enabled=True) if config.telemetry else NULL_TELEMETRY
+        Telemetry(enabled=True, sample_every=config.telemetry_sample_every)
+        if config.telemetry else NULL_TELEMETRY
     )
     t0 = time.perf_counter()
     if dataset.length < config.word_length:
@@ -148,6 +149,10 @@ def build_index_artifacts(
     dfs = dfs if dfs is not None else SimulatedDFS(
         cache_bytes=config.dfs_cache_bytes,
         partition_format=config.partition_format,
+        checksums=config.partition_checksums,
+        verify=config.verify_checksums,
+        fault_plan=config.effective_fault_plan,
+        retry_policy=config.retry_policy,
     )
     sim = ClusterSimulator(model or CostModel())
     rng = np.random.default_rng(config.seed)

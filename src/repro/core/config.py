@@ -8,12 +8,19 @@ benchmarks are set per call site; this class only validates consistency.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 from repro.exceptions import ConfigurationError
 from repro.pivots.distances import DecayKind
+from repro.resilience import FaultPlan, RetryPolicy
 
-__all__ = ["ClimberConfig", "PAPER_DEFAULTS"]
+__all__ = ["ClimberConfig", "PAPER_DEFAULTS", "ON_PARTITION_FAILURE_ENV"]
+
+#: Environment fallback for ``ClimberConfig.on_partition_failure`` — lets
+#: the CI chaos smoke run the whole suite in degraded-query mode without
+#: touching call sites.
+ON_PARTITION_FAILURE_ENV = "CLIMBER_ON_PARTITION_FAILURE"
 
 
 @dataclass(frozen=True)
@@ -102,6 +109,41 @@ class ClimberConfig:
         DFS counters are bit-identical with it on or off (the obs parity
         test proves it).  Off by default; disabled mode costs one
         attribute lookup per gated site.
+    telemetry_sample_every:
+        Sampling period of the enabled-mode per-query probes: 1 (default)
+        probes every query; ``N > 1`` probes one query in N and the rest
+        pay only the ``query.count`` increment — the always-on production
+        sampling mode (enabled-mode overhead drops to ~disabled level).
+        Sampled-out queries still return exact answers/stats; only the
+        per-query stage histograms subsample.
+    partition_checksums:
+        Whether builder-created DFS instances write v2 partitions with
+        per-section CRC32 checksums (header version 3; the default).
+        Purely physical: answers, logical counters and simulated costs
+        are identical with checksums on or off, and either generation of
+        stored payload stays readable.
+    verify_checksums:
+        Read-side verification mode: ``"off"``, ``"lazy"`` (default) or
+        ``"eager"`` (see :class:`~repro.storage.engine.PartitionV2View`).
+        Corruption raises
+        :class:`~repro.exceptions.PartitionCorruptError`.
+    fault_plan:
+        Optional :class:`~repro.resilience.FaultPlan` injected under the
+        builder-created DFS.  ``None`` consults the ``CLIMBER_FAULT_*``
+        environment knobs (:meth:`FaultPlan.from_env`); the resolved plan
+        is exposed as :attr:`effective_fault_plan`.
+    retry_policy:
+        :class:`~repro.resilience.RetryPolicy` of the DFS read path;
+        ``None`` uses the DFS default (3 attempts, seeded-jitter
+        exponential backoff).
+    on_partition_failure:
+        Default degraded-query mode for ``knn``/``knn_batch``:
+        ``"raise"`` propagates storage failures, ``"skip"`` drops the
+        failed partition from the candidate read set and answers from
+        the rest (stats record ``partitions_failed``/``coverage``).
+        ``None`` (default) resolves through the
+        ``CLIMBER_ON_PARTITION_FAILURE`` environment variable, else
+        ``"raise"``.
     """
 
     word_length: int = 16
@@ -123,6 +165,12 @@ class ClimberConfig:
     n_workers: int | None = None
     executor: str = "thread"
     telemetry: bool = False
+    telemetry_sample_every: int = 1
+    partition_checksums: bool = True
+    verify_checksums: str = "lazy"
+    fault_plan: FaultPlan | None = None
+    retry_policy: RetryPolicy | None = None
+    on_partition_failure: str | None = None
 
     def __post_init__(self) -> None:
         if self.word_length < 1:
@@ -167,6 +215,39 @@ class ClimberConfig:
                 f"executor must be 'serial', 'thread' or 'process', "
                 f"got {self.executor!r}"
             )
+        if self.telemetry_sample_every < 1:
+            raise ConfigurationError("telemetry_sample_every must be >= 1")
+        if self.verify_checksums not in ("off", "lazy", "eager"):
+            raise ConfigurationError(
+                f"verify_checksums must be 'off', 'lazy' or 'eager', "
+                f"got {self.verify_checksums!r}"
+            )
+        if self.on_partition_failure not in (None, "raise", "skip"):
+            raise ConfigurationError(
+                f"on_partition_failure must be 'raise' or 'skip', "
+                f"got {self.on_partition_failure!r}"
+            )
+
+    @property
+    def effective_fault_plan(self) -> FaultPlan | None:
+        """Explicit :attr:`fault_plan`, else the ``CLIMBER_FAULT_*`` env plan."""
+        if self.fault_plan is not None:
+            return self.fault_plan
+        return FaultPlan.from_env()
+
+    @property
+    def effective_on_partition_failure(self) -> str:
+        """Resolved degraded-query mode: explicit → env → ``"raise"``."""
+        if self.on_partition_failure is not None:
+            return self.on_partition_failure
+        raw = os.environ.get(ON_PARTITION_FAILURE_ENV, "").strip()
+        if not raw:
+            return "raise"
+        if raw not in ("raise", "skip"):
+            raise ConfigurationError(
+                f"{ON_PARTITION_FAILURE_ENV}={raw!r} must be 'raise' or 'skip'"
+            )
+        return raw
 
     @property
     def effective_n_workers(self) -> int:

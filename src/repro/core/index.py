@@ -62,7 +62,11 @@ from repro.core.skeleton import (
     partition_name,
 )
 from repro.core.trie import TrieNode
-from repro.exceptions import ConfigurationError
+from repro.exceptions import (
+    ConfigurationError,
+    PartitionNotFoundError,
+    StorageError,
+)
 from repro.obs import (
     NULL_TELEMETRY,
     OBS_SCHEMA,
@@ -105,10 +109,26 @@ class QueryStats:
     expanded_within_partition: bool
     sim_seconds: float
     wall_seconds: float
+    partitions_failed: tuple[str, ...] = ()
+    """Partitions the query *wanted* but could not read — non-empty only
+    under ``on_partition_failure="skip"`` with live storage faults."""
 
     @property
     def n_partitions(self) -> int:
         return len(self.partitions_loaded)
+
+    @property
+    def degraded(self) -> bool:
+        """True when the answer was computed without some partitions."""
+        return bool(self.partitions_failed)
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of wanted partitions actually read (1.0 = complete)."""
+        total = len(self.partitions_loaded) + len(self.partitions_failed)
+        if total == 0:
+            return 1.0
+        return len(self.partitions_loaded) / total
 
 
 @dataclass(frozen=True)
@@ -143,7 +163,10 @@ class ClimberIndex:
         elif artifacts.telemetry is not NULL_TELEMETRY:
             self._tel = artifacts.telemetry
         else:
-            self._tel = Telemetry(enabled=config.telemetry)
+            self._tel = Telemetry(
+                enabled=config.telemetry,
+                sample_every=config.telemetry_sample_every,
+            )
 
     @property
     def telemetry(self) -> Telemetry:
@@ -598,12 +621,24 @@ class ClimberIndex:
         if variant not in ("knn", "adaptive", "od-smallest"):
             raise ConfigurationError(f"unknown variant {variant!r}")
 
+    def _resolve_on_failure(self, on_partition_failure: str | None) -> str:
+        """Degraded-query mode: explicit argument → config → ``"raise"``."""
+        if on_partition_failure is None:
+            return self.config.effective_on_partition_failure
+        if on_partition_failure not in ("raise", "skip"):
+            raise ConfigurationError(
+                f"on_partition_failure must be 'raise' or 'skip', "
+                f"got {on_partition_failure!r}"
+            )
+        return on_partition_failure
+
     def knn(
         self,
         query: np.ndarray,
         k: int,
         variant: str = "adaptive",
         adaptive_factor: int | None = None,
+        on_partition_failure: str | None = None,
         _probe: QueryProbe | None = None,
     ) -> QueryResult:
         """Approximate kNN query (Def. 4).
@@ -619,8 +654,19 @@ class ClimberIndex:
         adaptive_factor:
             Partition-budget multiplier override (2 for -2X, 4 for -4X);
             defaults to ``config.adaptive_factor``.
+        on_partition_failure:
+            ``"raise"`` (default) propagates storage failures; ``"skip"``
+            drops unreadable partitions from the candidate set and answers
+            from the remainder, recording them in
+            ``stats.partitions_failed`` (``stats.degraded`` /
+            ``stats.coverage``).  ``None`` defers to
+            ``config.effective_on_partition_failure``.  A partition the
+            index references but the store has never held
+            (:class:`~repro.exceptions.PartitionNotFoundError`) always
+            raises — that is index/store inconsistency, not a fault.
         """
         self._validate_query_args(k, variant)
+        on_failure = self._resolve_on_failure(on_partition_failure)
         probe = _probe if _probe is not None else self._tel.probe()
         t0 = time.perf_counter()
         od_slack = 1 if variant == "adaptive" else 0
@@ -636,6 +682,7 @@ class ClimberIndex:
             np.asarray(query, dtype=np.float64),
             k, variant, adaptive_factor, candidates, t0,
             probe=probe,
+            on_failure=on_failure,
         )
 
     def knn_batch(
@@ -644,6 +691,7 @@ class ClimberIndex:
         k: int,
         variant: str = "adaptive",
         adaptive_factor: int | None = None,
+        on_partition_failure: str | None = None,
         _probes: list[QueryProbe] | None = None,
     ) -> list[QueryResult]:
         """Answer a batch of kNN queries (rows of ``queries``).
@@ -672,6 +720,7 @@ class ClimberIndex:
         interleaving, as any real cache's would.
         """
         self._validate_query_args(k, variant)
+        on_failure = self._resolve_on_failure(on_partition_failure)
         arr = np.asarray(queries, dtype=np.float64)
         if arr.ndim == 1:
             arr = arr.reshape(1, -1)
@@ -679,12 +728,17 @@ class ClimberIndex:
             return []
         tel = self._tel
         # Per-row probes: explicit (explain_query) or implicit when
-        # telemetry is enabled.  The shared signature/routing work is
-        # amortised evenly across the rows' probes, mirroring the
-        # shared_share treatment of wall_seconds below.
+        # telemetry is enabled.  Under probe sampling individual entries
+        # may be None (that row records only query.count); when every row
+        # is sampled out the list collapses to None.  The shared
+        # signature/routing work is amortised evenly across the rows'
+        # live probes, mirroring the shared_share treatment of
+        # wall_seconds below.
         probes = _probes
         if probes is None and tel.enabled:
-            probes = [QueryProbe() for _ in range(arr.shape[0])]
+            probes = [tel.probe() for _ in range(arr.shape[0])]
+            if not any(probe is not None for probe in probes):
+                probes = None
         if probes is not None and len(probes) != arr.shape[0]:
             raise ConfigurationError(
                 f"{len(probes)} probes for {arr.shape[0]} query rows"
@@ -699,7 +753,8 @@ class ClimberIndex:
             if tel.enabled:
                 tel.registry.histogram("query.batch.signature_s").observe(sig_s)
             for probe in probes:
-                probe.add_stage("signature", sig_s / arr.shape[0])
+                if probe is not None:
+                    probe.add_stage("signature", sig_s / arr.shape[0])
         od_slack = 1 if variant == "adaptive" else 0
         # Identical signatures route identically, so the OD/WD matrices are
         # computed once per *distinct* signature and fanned back out.  Row
@@ -728,7 +783,8 @@ class ClimberIndex:
             if tel.enabled:
                 tel.registry.histogram("query.batch.route_s").observe(route_s)
             for probe in probes:
-                probe.add_stage("route", route_s / arr.shape[0])
+                if probe is not None:
+                    probe.add_stage("route", route_s / arr.shape[0])
         # The shared signature/routing span is amortised evenly over the
         # rows so per-query wall_seconds stay comparable to knn's.
         shared_share = (time.perf_counter() - t0) / arr.shape[0]
@@ -741,6 +797,7 @@ class ClimberIndex:
                     time.perf_counter() - shared_share,
                     primary=primaries[i],
                     probe=probes[i] if probes is not None else None,
+                    on_failure=on_failure,
                 )
                 for i in range(start, end)
             ]
@@ -771,6 +828,7 @@ class ClimberIndex:
         t0: float,
         primary: GroupCandidate | None = None,
         probe: QueryProbe | None = None,
+        on_failure: str = "raise",
     ) -> QueryResult:
         """Stages 3-4 of the pipeline: node selection + record scan.
 
@@ -785,6 +843,15 @@ class ClimberIndex:
         bit-identical with or without it; the cache delta is exact when
         rows run serially and approximate under concurrent shards (other
         rows' hits/misses interleave, as any shared cache's do).
+
+        ``on_failure="skip"`` degrades gracefully: a partition whose read
+        (or whose later payload materialisation — lazy checksum
+        verification fires on the first cluster read) raises a
+        :class:`~repro.exceptions.StorageError` is dropped from the
+        candidate set and recorded in ``stats.partitions_failed`` instead
+        of aborting the query.  :class:`PartitionNotFoundError` is never
+        skipped — a referenced-but-absent partition is index/store
+        inconsistency, not a transient fault.
         """
         sim = ClusterSimulator(self.model)
         cfg = self.config
@@ -853,6 +920,7 @@ class ClimberIndex:
         ids_parts: list[np.ndarray] = []
         val_parts: list[np.ndarray] = []
         loaded = []
+        failed: list[str] = []
         data_bytes = 0
         scan_costs = []
         fallback_pool: list[tuple] = []
@@ -862,17 +930,33 @@ class ClimberIndex:
             physical = ([pname] if self.dfs.has_partition(pname) else [])
             physical += self._delta_names(pname)
             for actual in physical:
-                part = self.dfs.read_partition(actual)
+                # All per-partition reads (open + targeted cluster ranges)
+                # succeed or fail atomically from this query's view: a
+                # failure after retry exhaustion either aborts the query
+                # (mode "raise") or drops the whole partition (mode
+                # "skip") — never a half-read partition.
+                try:
+                    part = self.dfs.read_partition(actual)
+                    present = [
+                        key for key in part.cluster_keys() if key in wanted
+                    ]
+                    cid = cval = None
+                    if present:
+                        # One cluster-range read per partition: with format
+                        # v2 the handle maps only the byte ranges these keys
+                        # cover (adjacent clusters coalesce into single
+                        # slices).  Lazy checksum verification fires here.
+                        cid, cval = part.read_clusters(present)
+                except PartitionNotFoundError:
+                    raise
+                except StorageError:
+                    if on_failure != "skip":
+                        raise
+                    failed.append(actual)
+                    continue
                 loaded.append(actual)
                 data_bytes += part.nbytes
-                # One cluster-range read per partition: with format v2 the
-                # handle maps only the byte ranges these keys cover
-                # (adjacent clusters coalesce into single slices).
-                present = [
-                    key for key in part.cluster_keys() if key in wanted
-                ]
-                if present:
-                    cid, cval = part.read_clusters(present)
+                if cid is not None:
                     ids_parts.append(cid)
                     val_parts.append(cval)
                 # Remember the rest of the partition for the within-partition
@@ -881,16 +965,36 @@ class ClimberIndex:
                 other_keys = [
                     key for key in part.cluster_keys() if key not in wanted
                 ]
+                cost = self._partition_scan_cost(part)
                 if other_keys:
-                    fallback_pool.append((part, other_keys))
-                scan_costs.append(self._partition_scan_cost(part))
+                    fallback_pool.append(
+                        (actual, part, other_keys, cost, cid is not None)
+                    )
+                scan_costs.append(cost)
 
         n_targeted = int(sum(p.shape[0] for p in ids_parts))
         expanded = False
         if n_targeted < k and fallback_pool:
             expanded = True
-            for part, other_keys in fallback_pool:
-                cid, cval = part.read_clusters(other_keys)
+            for actual, part, other_keys, cost, contributed in fallback_pool:
+                try:
+                    cid, cval = part.read_clusters(other_keys)
+                except PartitionNotFoundError:
+                    raise
+                except StorageError:
+                    if on_failure != "skip":
+                        raise
+                    if not contributed:
+                        # The partition contributed nothing usable after
+                        # all: retract its load accounting and reclassify
+                        # it as failed.  (A partition whose *targeted*
+                        # clusters were already folded in stays loaded —
+                        # only its expansion read degraded.)
+                        loaded.remove(actual)
+                        failed.append(actual)
+                        data_bytes -= part.nbytes
+                        scan_costs.remove(cost)
+                    continue
                 ids_parts.append(cid)
                 val_parts.append(cval)
 
@@ -939,6 +1043,7 @@ class ClimberIndex:
             expanded_within_partition=expanded,
             sim_seconds=report.total_seconds,
             wall_seconds=time.perf_counter() - t0,
+            partitions_failed=tuple(failed),
         )
         tel = self._tel
         if tel.enabled:
@@ -967,6 +1072,9 @@ class ClimberIndex:
             "groups_considered": list(stats.group_ids),
             "n_selected_nodes": stats.n_selected_nodes,
             "expanded_within_partition": stats.expanded_within_partition,
+            "degraded": stats.degraded,
+            "coverage": stats.coverage,
+            "partitions_failed": list(stats.partitions_failed),
             "sim_seconds": stats.sim_seconds,
             "wall_seconds": stats.wall_seconds,
             "ids": [int(i) for i in result.ids],
@@ -979,6 +1087,7 @@ class ClimberIndex:
         k: int,
         variant: str = "adaptive",
         adaptive_factor: int | None = None,
+        on_partition_failure: str | None = None,
     ) -> dict:
         """Run a query and return its structured per-stage breakdown.
 
@@ -999,13 +1108,16 @@ class ClimberIndex:
         arr = np.asarray(query, dtype=np.float64)
         if arr.ndim == 1:
             probe = QueryProbe()
-            result = self.knn(arr, k, variant, adaptive_factor, _probe=probe)
+            result = self.knn(arr, k, variant, adaptive_factor,
+                              on_partition_failure=on_partition_failure,
+                              _probe=probe)
             entry = self._explain_entry(result, probe)
             entry["schema"] = OBS_SCHEMA
             entry["mode"] = "knn"
             return entry
         probes = [QueryProbe() for _ in range(arr.shape[0])]
         results = self.knn_batch(arr, k, variant, adaptive_factor,
+                                 on_partition_failure=on_partition_failure,
                                  _probes=probes)
         entries = [
             self._explain_entry(result, probe)
@@ -1028,6 +1140,10 @@ class ClimberIndex:
                 "cache_hits": sum(e["cache"]["hits"] for e in entries),
                 "cache_misses": sum(e["cache"]["misses"] for e in entries),
                 "wall_seconds": sum(e["wall_seconds"] for e in entries),
+                "degraded_queries": sum(e["degraded"] for e in entries),
+                "partitions_failed": sum(
+                    len(e["partitions_failed"]) for e in entries
+                ),
             },
         }
 

@@ -26,9 +26,15 @@ That is what makes ``n_workers=8`` bit-identical to ``n_workers=1``:
 same partition bytes, same counters, same kNN answers, regardless of how
 the OS schedules workers.  ``tests/test_parallel_parity.py`` enforces it.
 
-A worker exception cancels the map and re-raises on the caller's thread
-(no hangs, no partially-registered state) — the failure-propagation tests
-pin this down.
+Task-level fault tolerance (PR 8): a pooled task that raises is
+resubmitted once (the ``parallel.task_retries`` counter records it); a
+second failure falls back to a serial re-run on the caller's thread via
+:func:`record_parallel_fallback`, so only *persistent* failures propagate
+— and they re-raise on the caller's thread with no hangs and no
+partially-registered state (the failure-propagation tests pin this
+down).  The retry is safe because every task is a pure function of its
+item (see above): re-running it cannot double-apply state, and a
+recovered result is bit-identical to a first-try success.
 """
 
 from __future__ import annotations
@@ -118,6 +124,46 @@ class SerialExecutor(Executor):
         return [fn(item) for item in items]
 
 
+def _map_with_task_retry(pool, fn: Callable[[_T], _R],
+                         items: Iterable[_T]) -> list[_R]:
+    """Ordered pooled map with retry-once-then-serial-rerun per task.
+
+    Each item is submitted as its own future so a single flaky task —
+    a transient injected fault, a worker killed mid-run — costs one
+    resubmission (``parallel.task_retries``), not the whole map.  A task
+    that fails twice on the pool is re-run serially on the caller's
+    thread (recorded via :func:`record_parallel_fallback`); if even that
+    raises, the exception propagates and the remaining futures are
+    cancelled.  Tasks are pure functions of their items, so a recovered
+    result is bit-identical to a first-try success and results keep
+    submission order.
+    """
+    items = list(items)
+    futures = [pool.submit(fn, item) for item in items]
+    results: list[_R] = []
+    try:
+        for i, future in enumerate(futures):
+            try:
+                results.append(future.result())
+                continue
+            except Exception:
+                global_registry().counter("parallel.task_retries").inc()
+            try:
+                results.append(pool.submit(fn, items[i]).result())
+                continue
+            except Exception:
+                record_parallel_fallback(
+                    f"pooled task {i} failed twice; re-running serially "
+                    "on the caller's thread"
+                )
+            results.append(fn(items[i]))
+    except BaseException:
+        for future in futures:
+            future.cancel()
+        raise
+    return results
+
+
 class ThreadExecutor(Executor):
     """Thread-pool executor (the default): GIL-releasing numpy kernels
     scale across cores with zero serialisation cost."""
@@ -131,9 +177,7 @@ class ThreadExecutor(Executor):
         )
 
     def map(self, fn: Callable[[_T], _R], items: Iterable[_T]) -> list[_R]:
-        # list() drains the generator so the first worker exception
-        # re-raises here, after the pool has cancelled the remaining items.
-        return list(self._pool.map(fn, items))
+        return _map_with_task_retry(self._pool, fn, items)
 
     def close(self) -> None:
         self._pool.shutdown(wait=True, cancel_futures=True)
@@ -145,7 +189,8 @@ class ProcessExecutor(Executor):
     No shared memory: tasks must be pure functions of picklable items and
     return picklable results.  Call sites that hand out live object graphs
     (trie compiles, query shards) check :attr:`shares_memory` and fall
-    back to threads.
+    back to threads.  The serial-rerun leg of the task retry runs ``fn``
+    in the caller's process — equivalent by the same purity argument.
     """
 
     shares_memory = False
@@ -157,7 +202,7 @@ class ProcessExecutor(Executor):
         self._pool = ProcessPoolExecutor(max_workers=self.n_workers)
 
     def map(self, fn: Callable[[_T], _R], items: Iterable[_T]) -> list[_R]:
-        return list(self._pool.map(fn, items))
+        return _map_with_task_retry(self._pool, fn, items)
 
     def close(self) -> None:
         self._pool.shutdown(wait=True, cancel_futures=True)

@@ -28,7 +28,42 @@ class StorageError(ReproError):
 
 
 class PartitionNotFoundError(StorageError):
-    """A partition id does not exist in the simulated DFS."""
+    """A partition id does not exist in the simulated DFS.
+
+    An index-consistency error, not a storage fault: retry and the
+    degraded query mode (``on_partition_failure="skip"``) deliberately do
+    *not* treat it as recoverable."""
+
+
+class PartitionCorruptError(StorageError):
+    """Stored partition bytes fail an integrity check.
+
+    Raised when a checksum recorded in the v2 partition header does not
+    match the stored section bytes, or when a payload is structurally
+    undecodable (short section read, unparsable meta blob)."""
+
+
+class TransientReadError(StorageError):
+    """A read failed in a way that may succeed on retry.
+
+    The simulated-DFS analogue of a dropped connection or a timed-out
+    datanode: the :class:`~repro.resilience.FaultInjector` raises it on
+    scheduled transient faults and the DFS retry loop treats it as
+    recoverable."""
+
+
+class PartitionLostError(StorageError):
+    """A partition's bytes are permanently gone (simulated node loss).
+
+    Never retried — a lost partition stays lost; queries running with
+    ``on_partition_failure="skip"`` degrade around it."""
+
+
+class ReadTimeoutError(StorageError):
+    """A read exceeded the :class:`~repro.resilience.RetryPolicy` deadline.
+
+    Recoverable: the straggler that blew the deadline may not recur, so
+    the retry loop treats timeouts like transient faults."""
 
 
 class MemoryBudgetExceeded(ReproError):

@@ -125,14 +125,26 @@ class Telemetry:
     :meth:`trace` returns :data:`NULL_SPAN` and :meth:`record_query` /
     :meth:`wrap_tasks` become no-ops, so the query and build hot paths
     pay only the ``tel.enabled`` attribute check.
+
+    ``sample_every=N`` (N > 1) turns enabled mode into 1-in-N sampling for
+    the *per-query* surfaces: :meth:`probe` hands out a live probe on every
+    Nth call (``None`` otherwise), and :meth:`record_query` for a
+    sampled-out query pays only the ``query.count`` increment.  Build
+    spans, ``trace`` and ``wrap_tasks`` are unaffected — they are not
+    per-query costs.
     """
 
-    __slots__ = ("enabled", "registry")
+    __slots__ = ("enabled", "registry", "sample_every", "_probe_tick")
 
     def __init__(self, enabled: bool = False,
-                 registry: MetricsRegistry | None = None) -> None:
+                 registry: MetricsRegistry | None = None,
+                 sample_every: int = 1) -> None:
+        if sample_every < 1:
+            raise ValueError("sample_every must be >= 1")
         self.enabled = enabled
         self.registry = registry if registry is not None else MetricsRegistry()
+        self.sample_every = sample_every
+        self._probe_tick = 0
 
     def trace(self, name: str):
         """Span over ``<name>_s`` when enabled, the shared no-op otherwise."""
@@ -141,8 +153,22 @@ class Telemetry:
         return Span(self.registry.histogram(name + "_s"))
 
     def probe(self) -> QueryProbe | None:
-        """A fresh :class:`QueryProbe` when enabled, else ``None``."""
-        return QueryProbe() if self.enabled else None
+        """A fresh :class:`QueryProbe` when enabled and sampled in.
+
+        With ``sample_every=N`` only every Nth call (first call included)
+        returns a probe; the rest return ``None`` — identical to disabled
+        mode from the caller's perspective.  Call this once per query row,
+        from the query's submitting thread (the tick is not locked; probes
+        are handed out before any parallel fan-out).
+        """
+        if not self.enabled:
+            return None
+        if self.sample_every > 1:
+            tick = self._probe_tick
+            self._probe_tick = tick + 1
+            if tick % self.sample_every:
+                return None
+        return QueryProbe()
 
     def wrap_tasks(self, name: str, fn):
         """Wrap an executor task fn with per-task and per-worker timing.
@@ -173,14 +199,24 @@ class Telemetry:
         return timed
 
     def record_query(self, stats, probe: QueryProbe | None = None) -> None:
-        """Fold one query's stats (and optional probe) into the registry."""
+        """Fold one query's stats (and optional probe) into the registry.
+
+        A sampled-out query (``sample_every > 1`` and no probe) pays only
+        the ``query.count`` increment — the sampling fast path.
+        """
         if not self.enabled:
             return
         reg = self.registry
         reg.counter("query.count").inc()
+        if probe is None and self.sample_every > 1:
+            return
         reg.counter("query.partitions_probed").inc(len(stats.partitions_loaded))
         reg.counter("query.bytes_read").inc(stats.data_bytes)
         reg.counter("query.records_examined").inc(stats.records_examined)
+        failed = getattr(stats, "partitions_failed", ())
+        if failed:
+            reg.counter("query.degraded").inc()
+            reg.counter("query.partitions_failed").inc(len(failed))
         reg.histogram("query.wall_s").observe(stats.wall_seconds)
         if probe is not None:
             for name, seconds in probe.stages.items():

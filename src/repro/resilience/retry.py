@@ -1,0 +1,77 @@
+"""Retry policy for the DFS read path: bounded attempts, seeded jitter.
+
+The policy is pure data plus pure functions — the
+:class:`~repro.storage.SimulatedDFS` read loop owns the actual retry
+control flow.  Jitter comes from the same stable hash as the fault
+schedule (:func:`repro.resilience.faults.stable_uniform`), so backoff
+delays — like everything else in the resilience layer — are reproducible
+for a given ``(seed, blob name, attempt)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+from repro.resilience.faults import stable_uniform
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded-retry parameters for one logical partition read.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total read attempts per logical read (1 disables retries).
+    backoff_base_s:
+        Sleep before the first retry; doubles (``backoff_multiplier``)
+        per subsequent retry.
+    backoff_multiplier:
+        Exponential growth factor of the backoff.
+    jitter:
+        Fraction of the backoff added as deterministic jitter: the delay
+        for retry ``a`` is ``base * mult**(a-1) * (1 + jitter * u)`` with
+        ``u`` a stable-hash uniform in ``[0, 1)``.
+    deadline_s:
+        Per-attempt wall-clock budget.  An attempt that takes longer
+        (e.g. an injected straggler) counts as failed with
+        :class:`~repro.exceptions.ReadTimeoutError` and is retried.
+        ``None`` disables the deadline.
+    seed:
+        Seed of the jitter's stable hash.
+    """
+
+    max_attempts: int = 3
+    backoff_base_s: float = 0.002
+    backoff_multiplier: float = 2.0
+    jitter: float = 0.5
+    deadline_s: float | None = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError("max_attempts must be >= 1")
+        if self.backoff_base_s < 0:
+            raise ConfigurationError("backoff_base_s must be >= 0")
+        if self.backoff_multiplier < 1.0:
+            raise ConfigurationError("backoff_multiplier must be >= 1")
+        if self.jitter < 0:
+            raise ConfigurationError("jitter must be >= 0")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ConfigurationError("deadline_s must be positive when given")
+
+    @classmethod
+    def none(cls) -> "RetryPolicy":
+        """A single-attempt policy (retries disabled)."""
+        return cls(max_attempts=1)
+
+    def backoff_delay(self, name: str, attempt: int) -> float:
+        """Seconds to sleep before retry ``attempt`` (1-based) of ``name``."""
+        if attempt < 1:
+            raise ConfigurationError("backoff attempt is 1-based")
+        base = self.backoff_base_s * self.backoff_multiplier ** (attempt - 1)
+        u = stable_uniform(self.seed, name, attempt, "retry_jitter")
+        return base * (1.0 + self.jitter * u)

@@ -37,13 +37,20 @@ serialisation; on disk: full-blob deserialisation per read).
 from __future__ import annotations
 
 import threading
+import time
 from bisect import insort
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
 
-from repro.exceptions import PartitionNotFoundError, StorageError
+from repro.exceptions import (
+    PartitionLostError,
+    PartitionNotFoundError,
+    ReadTimeoutError,
+    StorageError,
+)
 from repro.obs import MetricsRegistry
+from repro.resilience import FaultInjector, FaultPlan, RetryPolicy
 from repro.series import series_nbytes
 from repro.storage.engine import LocalDiskBackend, MemoryBackend, StorageEngine
 from repro.storage.engine.engine import PartitionHandle
@@ -58,9 +65,14 @@ _DEFAULT_BLOCK_BYTES = 64 * 1024 * 1024
 class DfsCounters:
     """Cumulative I/O counters, for tests and access-volume metrics.
 
-    ``bytes_read`` / ``partitions_read`` are *logical*: every read charges
-    them, cache hit or not.  ``cache_hits`` / ``cache_misses`` track the
-    physical behaviour of the read cache (both stay 0 with caching off).
+    ``bytes_read`` / ``partitions_read`` are *logical*: every successful
+    read charges them, cache hit or not.  ``cache_hits`` / ``cache_misses``
+    track the physical behaviour of the read cache (both stay 0 with
+    caching off).  The resilience counters (PR 8) are zero in fault-free
+    runs by construction: ``retries`` counts retry attempts after a
+    recoverable failure, ``read_failures`` counts logical reads that
+    failed for good (retries exhausted or partition lost), and
+    ``corruption_detected`` counts checksum/decode integrity failures.
     """
 
     bytes_written: int = 0
@@ -69,6 +81,9 @@ class DfsCounters:
     partitions_read: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    retries: int = 0
+    read_failures: int = 0
+    corruption_detected: int = 0
 
     #: (field name, registry metric name) — the re-homing map between this
     #: value object and the ``dfs.*`` counters on a MetricsRegistry.
@@ -79,6 +94,9 @@ class DfsCounters:
         ("partitions_read", "dfs.partitions_read"),
         ("cache_hits", "dfs.cache_hits"),
         ("cache_misses", "dfs.cache_misses"),
+        ("retries", "dfs.retries"),
+        ("read_failures", "dfs.read_failures"),
+        ("corruption_detected", "dfs.corruption_detected"),
     )
 
     def snapshot(self) -> "DfsCounters":
@@ -86,6 +104,7 @@ class DfsCounters:
             self.bytes_written, self.bytes_read,
             self.partitions_written, self.partitions_read,
             self.cache_hits, self.cache_misses,
+            self.retries, self.read_failures, self.corruption_detected,
         )
 
 
@@ -115,6 +134,30 @@ class SimulatedDFS:
         a private registry.  The :attr:`counters` property still returns
         a :class:`DfsCounters` snapshot with the exact same logical
         semantics the parity suites pin down.
+    checksums:
+        Whether newly written v2 partitions carry per-section CRC32
+        checksums (header version 3; the default).  Purely physical —
+        logical counters, query answers and simulated costs are
+        byte-identical with checksums on or off.
+    verify:
+        Checksum-verification mode on reads: ``"off"``, ``"lazy"``
+        (default — meta/directory at open, payload on first mapping) or
+        ``"eager"`` (everything at open; corrupted payloads then fail
+        *inside* the retry loop, so per-attempt bit-flips are
+        recoverable).  Detected corruption raises
+        :class:`~repro.exceptions.PartitionCorruptError` and bumps
+        ``dfs.corruption_detected``.
+    fault_plan:
+        Optional :class:`~repro.resilience.FaultPlan`; when given the
+        backend is wrapped in a :class:`~repro.resilience.FaultInjector`
+        realising the plan's deterministic fault schedule on the read
+        path (a plan with all rates 0 exercises the wrapper and is
+        byte-transparent — the zero-fault parity oracle).
+    retry_policy:
+        :class:`~repro.resilience.RetryPolicy` for :meth:`read_partition`;
+        ``None`` uses the default (3 attempts, exponential backoff with
+        seeded jitter, no deadline).  Fault-free reads never retry, so
+        the policy is always armed without affecting parity.
     """
 
     def __init__(
@@ -124,6 +167,10 @@ class SimulatedDFS:
         cache_bytes: int = 0,
         partition_format: str = "v2",
         registry: MetricsRegistry | None = None,
+        checksums: bool = True,
+        verify: str = "lazy",
+        fault_plan: FaultPlan | None = None,
+        retry_policy: RetryPolicy | None = None,
     ) -> None:
         if block_bytes < 1024:
             raise StorageError("block_bytes must be >= 1024")
@@ -136,7 +183,20 @@ class SimulatedDFS:
             backend = LocalDiskBackend(self.backing_dir)
         else:
             backend = MemoryBackend()
-        self._engine = StorageEngine(backend, partition_format=partition_format)
+        self.fault_injector: FaultInjector | None = None
+        if fault_plan is not None:
+            self.fault_injector = FaultInjector(backend, fault_plan)
+            backend = self.fault_injector
+        self.retry_policy = (
+            retry_policy if retry_policy is not None else RetryPolicy()
+        )
+        self._engine = StorageEngine(
+            backend,
+            partition_format=partition_format,
+            checksums=checksums,
+            verify=verify,
+            corruption_cb=self._on_corruption,
+        )
         # v1 + in-memory keeps the seed's object store: partitions held as
         # live PartitionFile objects with zero serialisation cost.  Every
         # other configuration stores encoded bytes in the engine.
@@ -165,13 +225,20 @@ class SimulatedDFS:
         )
         (self._c_bytes_written, self._c_bytes_read,
          self._c_partitions_written, self._c_partitions_read,
-         self._c_cache_hits, self._c_cache_misses) = self._metric_handles
+         self._c_cache_hits, self._c_cache_misses,
+         self._c_retries, self._c_read_failures,
+         self._c_corruption) = self._metric_handles
+
+    def _on_corruption(self) -> None:
+        # Hooked into the engine as corruption_cb; called (possibly under
+        # the DFS lock) right before a PartitionCorruptError raise.
+        self._c_corruption.inc()
 
     @property
     def counters(self) -> DfsCounters:
         """Logical I/O counters, as a consistent :class:`DfsCounters` value.
 
-        Snapshotted under the DFS lock, so the six fields are mutually
+        Snapshotted under the DFS lock, so the fields are mutually
         consistent even while readers/writers run concurrently.  The
         semantics are unchanged from the pre-registry implementation:
         logical, format- and cache-independent reads/writes; physical
@@ -342,33 +409,90 @@ class SimulatedDFS:
         Both handle types expose the same access interface; with format v2
         nothing beyond the header and cluster directory is materialised
         until cluster ranges are actually read.
+
+        Recoverable failures — :class:`TransientReadError`, detected
+        corruption, blown deadlines — are retried per
+        :attr:`retry_policy` (``dfs.retries`` counts the extra attempts);
+        :class:`PartitionLostError` and :class:`PartitionNotFoundError`
+        are not retried.  A logical read that fails for good bumps
+        ``dfs.read_failures`` and re-raises; only *successful* reads
+        charge the logical ``bytes_read``/``partitions_read`` counters,
+        which in fault-free runs is observationally identical to the
+        pre-resilience accounting (every read succeeded).
         """
         # The whole read — counters, cache probe, open, cache insert — runs
         # under the lock: opens parse only header + directory, so the held
         # section stays small while every cache/counter invariant holds
         # under concurrent readers (the backends' handle caches mutate on
-        # read and are serialised here too).
+        # read and are serialised here too).  Retry backoff sleeps happen
+        # under the lock as well — acceptable for a simulated DFS whose
+        # backoffs are milliseconds, and it keeps the per-name attempt
+        # schedule deterministic under concurrent shards.
         with self._lock:
             if partition_id not in self._sizes:
                 raise PartitionNotFoundError(f"no partition {partition_id!r}")
-            # Logical accounting is cache-independent: the paper's
-            # access-volume metrics charge every partition touch.
-            self._c_bytes_read.inc(self._sizes[partition_id])
-            self._c_partitions_read.inc()
             if self.cache_bytes:
                 cached = self._cache.get(partition_id)
                 if cached is not None:
+                    # Logical accounting is cache-independent: the paper's
+                    # access-volume metrics charge every partition touch.
+                    self._c_bytes_read.inc(self._sizes[partition_id])
+                    self._c_partitions_read.inc()
                     self._c_cache_hits.inc()
                     self._cache.move_to_end(partition_id)
                     return cached
-                self._c_cache_misses.inc()
-            if self._object_store():
-                part: PartitionHandle = self._partitions[partition_id]
-            else:
-                part = self._engine.open_partition(partition_id)
+            try:
+                part = self._open_with_retry(partition_id)
+            except StorageError:
+                self._c_read_failures.inc()
+                raise
+            self._c_bytes_read.inc(self._sizes[partition_id])
+            self._c_partitions_read.inc()
             if self.cache_bytes:
+                self._c_cache_misses.inc()
                 self._cache_insert(partition_id, part)
             return part
+
+    def _open_with_retry(self, partition_id: str) -> PartitionHandle:
+        """Open one partition under the retry policy (caller holds lock)."""
+        if self._object_store():
+            # Live PartitionFile objects: no physical read to fail.
+            return self._partitions[partition_id]
+        policy = self.retry_policy
+        injector = self.fault_injector
+        name = self._engine.blob_name(partition_id)
+        last_err: StorageError | None = None
+        for attempt in range(policy.max_attempts):
+            if attempt:
+                delay = policy.backoff_delay(name, attempt)
+                if delay > 0:
+                    time.sleep(delay)
+                self._c_retries.inc()
+            if injector is not None:
+                injector.begin_attempt(name)
+            t_attempt = time.perf_counter()
+            try:
+                part = self._engine.open_partition(partition_id)
+            except (PartitionLostError, PartitionNotFoundError):
+                raise  # permanent: retrying cannot help
+            except StorageError as err:
+                last_err = err
+                continue
+            if (
+                policy.deadline_s is not None
+                and time.perf_counter() - t_attempt > policy.deadline_s
+            ):
+                # Post-hoc deadline: the simulated DFS cannot abort a read
+                # mid-flight, so a straggling attempt is failed after the
+                # fact and retried like any transient fault.
+                last_err = ReadTimeoutError(
+                    f"read of {partition_id!r} exceeded the "
+                    f"{policy.deadline_s}s deadline"
+                )
+                continue
+            return part
+        assert last_err is not None
+        raise last_err
 
     # -- read cache --------------------------------------------------------------
 

@@ -24,6 +24,9 @@ from repro.storage.engine.backend import (
 from repro.storage.engine.engine import PartitionMeta, StorageEngine
 from repro.storage.engine.format import (
     FORMAT_V2_MAGIC,
+    FORMAT_V2_VERSION,
+    FORMAT_V3_VERSION,
+    VERIFY_MODES,
     PartitionV2View,
     decode_v2_header,
     encode_partition_v2,
@@ -39,6 +42,9 @@ __all__ = [
     "PartitionMeta",
     "PartitionV2View",
     "FORMAT_V2_MAGIC",
+    "FORMAT_V2_VERSION",
+    "FORMAT_V3_VERSION",
+    "VERIFY_MODES",
     "encode_partition_v2",
     "encode_partition_v2_arrays",
     "decode_v2_header",

@@ -22,9 +22,14 @@ from typing import Iterable, Union
 
 import numpy as np
 
-from repro.exceptions import PartitionNotFoundError, StorageError
+from repro.exceptions import (
+    PartitionCorruptError,
+    PartitionNotFoundError,
+    StorageError,
+)
 from repro.storage.engine.backend import StorageBackend
 from repro.storage.engine.format import (
+    VERIFY_MODES,
     PartitionV2View,
     encode_partition_v2,
     encode_partition_v2_arrays,
@@ -59,34 +64,64 @@ class StorageEngine:
     Parameters
     ----------
     backend:
-        The byte store (memory or mmap-backed local disk).
+        The byte store (memory or mmap-backed local disk), possibly
+        wrapped in a :class:`~repro.resilience.FaultInjector`.
     partition_format:
         Format for *newly written* partitions: ``"v2"`` (default) or
         ``"v1"``.  Reads always sniff the stored format.
+    checksums:
+        Whether newly written v2 partitions carry the per-section CRC32
+        block (header version 3, the default).  ``False`` reproduces the
+        legacy version-2 bytes exactly.  Stored payloads of either
+        version stay readable regardless.
+    verify:
+        Checksum-verification mode applied when opening v2 partitions:
+        ``"off"``, ``"lazy"`` (default) or ``"eager"`` — see
+        :class:`~repro.storage.engine.format.PartitionV2View`.
+    corruption_cb:
+        Zero-argument callable invoked per detected corruption (the DFS
+        counts ``dfs.corruption_detected`` through it).
     """
 
     SUFFIX = ".part"
 
     def __init__(
-        self, backend: StorageBackend, partition_format: str = "v2"
+        self,
+        backend: StorageBackend,
+        partition_format: str = "v2",
+        checksums: bool = True,
+        verify: str = "lazy",
+        corruption_cb=None,
     ) -> None:
         if partition_format not in ("v1", "v2"):
             raise StorageError(
                 f"unknown partition format {partition_format!r} "
                 "(expected 'v1' or 'v2')"
             )
+        if verify not in VERIFY_MODES:
+            raise StorageError(
+                f"unknown verify mode {verify!r} "
+                f"(expected one of {VERIFY_MODES})"
+            )
         self.backend = backend
         self.partition_format = partition_format
+        self.checksums = bool(checksums)
+        self.verify = verify
+        self.corruption_cb = corruption_cb
 
     def _name(self, partition_id: str) -> str:
         return f"{partition_id}{self.SUFFIX}"
+
+    def blob_name(self, partition_id: str) -> str:
+        """The backend blob name a partition is stored under."""
+        return self._name(partition_id)
 
     # -- write ------------------------------------------------------------------
 
     def write_partition(self, partition: PartitionFile) -> int:
         """Encode and store one partition; returns the physical byte count."""
         if self.partition_format == "v2":
-            payload = encode_partition_v2(partition)
+            payload = encode_partition_v2(partition, checksums=self.checksums)
         else:
             payload = partition.to_bytes()
         self.backend.write(self._name(partition.partition_id), payload)
@@ -135,7 +170,8 @@ class StorageEngine:
         """
         if self.partition_format == "v2":
             return encode_partition_v2_arrays(partition_id, ids, values,
-                                              header, rows=rows)
+                                              header, rows=rows,
+                                              checksums=self.checksums)
         if rows is not None:
             ids = np.asarray(ids, dtype=np.int64)[rows]
             values = np.asarray(values, dtype=np.float64)[rows]
@@ -170,10 +206,25 @@ class StorageEngine:
                     name, offset, length
                 ),
                 physical_size=size,
+                verify=self.verify,
+                corruption_cb=self.corruption_cb,
             )
-        return PartitionFile.from_bytes(
-            bytes(self.backend.read_range(name, 0, size))
-        )
+        # v1 payloads carry no checksums; typed decode failures are the
+        # best integrity signal available (a flipped byte that still
+        # decodes is undetectable in v1 — one of the reasons v2+checksums
+        # is the default).
+        try:
+            return PartitionFile.from_bytes(
+                bytes(self.backend.read_range(name, 0, size))
+            )
+        except StorageError:
+            raise
+        except Exception as err:
+            if self.corruption_cb is not None:
+                self.corruption_cb()
+            raise PartitionCorruptError(
+                f"partition {partition_id!r}: undecodable v1 payload ({err})"
+            ) from err
 
     def read_cluster_ranges(
         self, partition_id: str, keys: Iterable[str]
@@ -203,6 +254,11 @@ class StorageEngine:
                     name, offset, length
                 ),
                 physical_size=size,
+                # Metadata scans never touch payload sections, so eager
+                # payload verification would be pure waste here; cap at
+                # lazy (meta/directory CRCs still checked at open).
+                verify="off" if self.verify == "off" else "lazy",
+                corruption_cb=self.corruption_cb,
             )
             return PartitionMeta(view.nbytes, view.record_count,
                                  view.series_length)

@@ -11,7 +11,9 @@ but lays the bytes out so that a reader touches only the ranges it needs:
 
     [0, 80)              fixed struct header (magic, version, geometry,
                          section offsets, total size)
-    [80, 80+meta)        JSON meta blob: {"partition_id": ..., "keys": [...]}
+    [80, 96)             header version >= 3 only: four CRC32 checksums
+                         (meta blob, directory, ids payload, values payload)
+    [hdr, hdr+meta)      JSON meta blob: {"partition_id": ..., "keys": [...]}
     [dir_offset, ...)    cluster directory: int64 offsets[n_clusters]
                          followed by int64 counts[n_clusters]
     [ids_offset, ...)    raw C-order int64 ids payload, 64-byte aligned
@@ -27,24 +29,41 @@ algorithms assume ("reading one cluster touches only its slice").
 :class:`PartitionV2View` is the lazy reader: it parses header + directory
 on open (a few hundred bytes) and maps payload slices on demand, exposing
 the same access interface as :class:`~repro.storage.partition.PartitionFile`.
+
+Header **version 3** (PR 8) appends a 16-byte CRC32 block after the fixed
+header: per-section checksums over the meta blob, the directory and the
+two raw payloads (alignment padding is excluded — it is zeroed and never
+served).  The base header's field offsets are unchanged, the magic stays
+``CLMBPRT2`` and version-2 payloads (no checksums) remain fully readable,
+so a backing directory can mix generations.  Verification is configurable
+on the view: meta/directory checksums are checked at open (those bytes
+are read anyway), payload checksums either at open (``verify="eager"``)
+or once on the first payload mapping (``"lazy"``, the default), or never
+(``"off"``).  A mismatch raises
+:class:`~repro.exceptions.PartitionCorruptError`; integrity reads do not
+count toward ``materialised_bytes`` (that metric tracks data served to
+the query, not safety re-reads).
 """
 
 from __future__ import annotations
 
 import struct
+import zlib
 from dataclasses import dataclass
 from typing import Callable, Iterable
 
 import numpy as np
 
-from repro.exceptions import StorageError
+from repro.exceptions import PartitionCorruptError, StorageError
 from repro.storage.partition import PartitionFile, logical_partition_nbytes
 from repro.storage.serialization import json_from_bytes, json_to_bytes
 
 __all__ = [
     "FORMAT_V2_MAGIC",
     "FORMAT_V2_VERSION",
+    "FORMAT_V3_VERSION",
     "PAYLOAD_ALIGNMENT",
+    "VERIFY_MODES",
     "V2Header",
     "encode_partition_v2",
     "encode_partition_v2_arrays",
@@ -55,12 +74,22 @@ __all__ = [
 
 FORMAT_V2_MAGIC = b"CLMBPRT2"
 FORMAT_V2_VERSION = 2
+FORMAT_V3_VERSION = 3  # v2 layout + per-section CRC32 block
 PAYLOAD_ALIGNMENT = 64
+
+#: Checksum-verification modes accepted by :class:`PartitionV2View` (and
+#: plumbed through StorageEngine / SimulatedDFS / ClimberConfig).
+VERIFY_MODES = ("off", "lazy", "eager")
 
 # magic, version, flags, n_clusters, n_records, series_length, meta_size,
 # dir_offset, ids_offset, values_offset, total_size
 _HEADER = struct.Struct("<8sII8Q")
 HEADER_SIZE = _HEADER.size
+
+# Version >= 3: CRC32s of (meta, directory, ids, values), appended after
+# the base header so every base field keeps its byte offset.
+_CRC_BLOCK = struct.Struct("<4I")
+CRC_BLOCK_SIZE = _CRC_BLOCK.size
 
 _IDS_ITEMSIZE = 8     # int64
 _VALUES_ITEMSIZE = 8  # float64
@@ -68,6 +97,7 @@ _VALUES_ITEMSIZE = 8  # float64
 # v1 payloads start with the little-endian length of their JSON meta blob —
 # a small integer, so the first eight bytes can never equal the magic.
 assert HEADER_SIZE == 80
+assert CRC_BLOCK_SIZE == 16
 
 
 def _align(offset: int, alignment: int) -> int:
@@ -76,7 +106,12 @@ def _align(offset: int, alignment: int) -> int:
 
 @dataclass(frozen=True)
 class V2Header:
-    """Decoded fixed-width v2 header (geometry + section offsets)."""
+    """Decoded fixed-width v2 header (geometry + section offsets).
+
+    ``crcs`` carries the four per-section CRC32s of header version 3
+    (meta, directory, ids, values), or ``None`` for legacy version-2
+    payloads — readers skip verification when absent.
+    """
 
     n_clusters: int
     n_records: int
@@ -86,10 +121,17 @@ class V2Header:
     ids_offset: int
     values_offset: int
     total_size: int
+    version: int = FORMAT_V2_VERSION
+    crcs: tuple[int, int, int, int] | None = None
 
     @property
     def row_nbytes(self) -> int:
         return self.series_length * _VALUES_ITEMSIZE
+
+    @property
+    def header_size(self) -> int:
+        """Bytes before the meta blob (base header + optional CRC block)."""
+        return HEADER_SIZE + (CRC_BLOCK_SIZE if self.crcs is not None else 0)
 
 
 def is_v2_payload(prefix: bytes | bytearray | memoryview) -> bool:
@@ -103,6 +145,7 @@ def encode_partition_v2_arrays(
     values: np.ndarray,
     header: dict[str, tuple[int, int]],
     rows: np.ndarray | None = None,
+    checksums: bool = True,
 ) -> bytes:
     """Serialise pre-laid-out cluster arrays straight into format v2.
 
@@ -120,6 +163,10 @@ def encode_partition_v2_arrays(
     directly into the output buffer (``np.take(..., out=...)``), so the
     bulk build pays one scattered read instead of materialising a sorted
     copy of the dataset first.
+
+    ``checksums`` (default on) writes header version 3 with the CRC32
+    block; ``checksums=False`` produces the byte-identical legacy
+    version-2 payload.
     """
     ids = np.ascontiguousarray(ids, dtype=np.int64)
     values = np.ascontiguousarray(values, dtype=np.float64)
@@ -141,7 +188,9 @@ def encode_partition_v2_arrays(
         raise StorageError(f"partition {partition_id!r} needs >= 1 cluster")
     n_clusters = len(keys)
     meta = json_to_bytes({"partition_id": partition_id, "keys": keys})
-    dir_offset = _align(HEADER_SIZE + len(meta), 8)
+    version = FORMAT_V3_VERSION if checksums else FORMAT_V2_VERSION
+    hdr_size = HEADER_SIZE + (CRC_BLOCK_SIZE if checksums else 0)
+    dir_offset = _align(hdr_size + len(meta), 8)
     dir_nbytes = 2 * 8 * n_clusters
     ids_nbytes = n_records * _IDS_ITEMSIZE
     values_nbytes = n_records * values.shape[1] * _VALUES_ITEMSIZE
@@ -152,11 +201,11 @@ def encode_partition_v2_arrays(
     out = bytearray(total_size)
     _HEADER.pack_into(
         out, 0,
-        FORMAT_V2_MAGIC, FORMAT_V2_VERSION, 0,
+        FORMAT_V2_MAGIC, version, 0,
         n_clusters, n_records, values.shape[1], len(meta),
         dir_offset, ids_offset, values_offset, total_size,
     )
-    out[HEADER_SIZE:HEADER_SIZE + len(meta)] = meta
+    out[hdr_size:hdr_size + len(meta)] = meta
     # Payload sections are filled through writable NumPy views over the
     # output buffer — one memcpy (or fused gather) per section, with no
     # intermediate ``tobytes`` bytes objects (at bulk-build volume those
@@ -186,18 +235,31 @@ def encode_partition_v2_arrays(
     else:
         np.take(ids, rows, out=ids_dst)
         np.take(values, rows, axis=0, out=values_dst)
+    if checksums:
+        # CRCs cover the exact logical section bytes (padding excluded:
+        # it is zeroed above and never served to a reader).
+        view = memoryview(out)
+        _CRC_BLOCK.pack_into(
+            out, HEADER_SIZE,
+            zlib.crc32(view[hdr_size:hdr_size + len(meta)]),
+            zlib.crc32(view[dir_offset:dir_offset + dir_nbytes]),
+            zlib.crc32(view[ids_offset:ids_offset + ids_nbytes]),
+            zlib.crc32(view[values_offset:values_offset + values_nbytes]),
+        )
     return bytes(out)
 
 
-def encode_partition_v2(part: PartitionFile) -> bytes:
+def encode_partition_v2(part: PartitionFile, checksums: bool = True) -> bytes:
     """Serialise a partition into format v2.
 
     Cluster order follows the partition header (sorted key order from
     :meth:`PartitionFile.from_clusters`), so the directory describes the
-    same contiguous layout as the v1 header.
+    same contiguous layout as the v1 header.  ``checksums`` selects
+    header version 3 (CRC block) vs the legacy version-2 bytes.
     """
     return encode_partition_v2_arrays(
-        part.partition_id, part.ids, part.values, part.header
+        part.partition_id, part.ids, part.values, part.header,
+        checksums=checksums,
     )
 
 
@@ -207,7 +269,9 @@ def decode_v2_header(
     """Parse and validate the fixed v2 header from a payload's first bytes.
 
     ``physical_size``, when known, is checked against the header's declared
-    total so truncated files fail fast with a clear error.
+    total so truncated files fail fast with a clear error.  Accepts header
+    versions 2 (legacy, no checksums) and 3 (CRC block follows the fixed
+    header; ``buf`` must include it).
     """
     if len(buf) < HEADER_SIZE:
         raise StorageError(
@@ -219,10 +283,20 @@ def decode_v2_header(
     )
     if magic != FORMAT_V2_MAGIC:
         raise StorageError(f"bad partition magic {magic!r}")
-    if version != FORMAT_V2_VERSION:
+    if version not in (FORMAT_V2_VERSION, FORMAT_V3_VERSION):
         raise StorageError(f"unsupported partition format version {version}")
     if flags != 0:
         raise StorageError(f"unknown partition format flags {flags:#x}")
+    crcs = None
+    if version == FORMAT_V3_VERSION:
+        if len(buf) < HEADER_SIZE + CRC_BLOCK_SIZE:
+            raise StorageError(
+                f"truncated v2 partition: {len(buf)} header bytes < "
+                f"{HEADER_SIZE + CRC_BLOCK_SIZE} (version 3)"
+            )
+        crcs = _CRC_BLOCK.unpack_from(
+            bytes(buf[HEADER_SIZE:HEADER_SIZE + CRC_BLOCK_SIZE])
+        )
     header = V2Header(
         n_clusters=n_clusters,
         n_records=n_records,
@@ -232,10 +306,12 @@ def decode_v2_header(
         ids_offset=ids_offset,
         values_offset=values_offset,
         total_size=total_size,
+        version=version,
+        crcs=crcs,
     )
     dir_nbytes = 2 * 8 * n_clusters
     consistent = (
-        dir_offset >= HEADER_SIZE + meta_size
+        dir_offset >= header.header_size + meta_size
         and ids_offset % PAYLOAD_ALIGNMENT == 0
         and values_offset % PAYLOAD_ALIGNMENT == 0
         and ids_offset >= dir_offset + dir_nbytes
@@ -264,7 +340,21 @@ class PartitionV2View:
         :class:`StorageError` on out-of-range requests.
     physical_size:
         Total stored bytes, when the caller knows it; validated against
-        the header's declared size.
+        the header's declared size.  When unknown, the view probes the
+        payload's last byte at open so a truncated blob fails fast with
+        :class:`StorageError` instead of a confusing short-read error on
+        some later cluster read.
+    verify:
+        Checksum verification mode for version-3 payloads (payloads
+        without checksums are never verified): ``"lazy"`` (default)
+        checks meta/directory CRCs at open and the payload CRCs once, on
+        the first payload mapping; ``"eager"`` checks everything at
+        open; ``"off"`` skips verification.  A mismatch raises
+        :class:`~repro.exceptions.PartitionCorruptError`.
+    corruption_cb:
+        Zero-argument callable invoked once per detected corruption
+        (before the raise) — the DFS hooks its
+        ``dfs.corruption_detected`` counter here.
 
     The view exposes the :class:`PartitionFile` access interface
     (``read_cluster``/``read_clusters``/``read_all``/``ids``/``values``/
@@ -273,20 +363,50 @@ class PartitionV2View:
     arrays are read-only views into the backing buffer; consumers that
     need writable data copy (``np.concatenate``/``np.vstack`` downstream
     already do).  ``materialised_bytes`` tracks how many bytes have been
-    mapped — the benchmark's "bytes materialised" metric.
+    mapped *for the reader* — the benchmark's "bytes materialised"
+    metric; integrity re-reads are excluded.
     """
 
     def __init__(
         self,
         read_range: Callable[[int, int], memoryview],
         physical_size: int | None = None,
+        verify: str = "lazy",
+        corruption_cb: Callable[[], None] | None = None,
     ) -> None:
+        if verify not in VERIFY_MODES:
+            raise StorageError(
+                f"unknown verify mode {verify!r} (expected one of "
+                f"{VERIFY_MODES})"
+            )
         self._read = read_range
-        self.v2_header = decode_v2_header(
-            read_range(0, HEADER_SIZE), physical_size
-        )
+        self._corruption_cb = corruption_cb
+        head = bytes(read_range(0, HEADER_SIZE))
+        if (len(head) >= 12 and head[:8] == FORMAT_V2_MAGIC
+                and int.from_bytes(head[8:12], "little") == FORMAT_V3_VERSION):
+            head += bytes(read_range(HEADER_SIZE, CRC_BLOCK_SIZE))
+        self.v2_header = decode_v2_header(head, physical_size)
         h = self.v2_header
-        meta = json_from_bytes(bytes(read_range(HEADER_SIZE, h.meta_size)))
+        checked = verify != "off" and h.crcs is not None
+        self._verify_payload_pending = checked
+        if physical_size is None and h.total_size > 0:
+            # Truncation probe: the declared extent must be addressable
+            # now, not when a directory entry happens to touch the tail.
+            tail = read_range(h.total_size - 1, 1)
+            if len(tail) != 1:
+                raise StorageError(
+                    f"truncated v2 partition: storage ends before the "
+                    f"declared {h.total_size} bytes"
+                )
+        meta_bytes = bytes(read_range(h.header_size, h.meta_size))
+        if len(meta_bytes) != h.meta_size:
+            self._corrupt("short meta blob read")
+        if checked and zlib.crc32(meta_bytes) != h.crcs[0]:
+            self._corrupt("meta blob checksum mismatch")
+        try:
+            meta = json_from_bytes(meta_bytes)
+        except Exception:
+            meta = None
         if not isinstance(meta, dict) or "partition_id" not in meta \
                 or "keys" not in meta:
             raise StorageError("corrupt v2 partition: malformed meta blob")
@@ -298,6 +418,10 @@ class PartitionV2View:
             )
         dir_nbytes = 2 * 8 * h.n_clusters
         directory = bytes(read_range(h.dir_offset, dir_nbytes))
+        if len(directory) != dir_nbytes:
+            self._corrupt("short directory read")
+        if checked and zlib.crc32(directory) != h.crcs[1]:
+            self._corrupt("directory checksum mismatch")
         offsets = np.frombuffer(directory[:8 * h.n_clusters], dtype=np.int64)
         counts = np.frombuffer(directory[8 * h.n_clusters:], dtype=np.int64)
         if h.n_clusters and not (
@@ -312,7 +436,27 @@ class PartitionV2View:
         self.header: dict[str, tuple[int, int]] = {
             k: (int(o), int(c)) for k, o, c in zip(keys, offsets, counts)
         }
-        self.materialised_bytes = HEADER_SIZE + h.meta_size + dir_nbytes
+        self.materialised_bytes = h.header_size + h.meta_size + dir_nbytes
+        if checked and verify == "eager":
+            self._verify_payload()
+
+    def _corrupt(self, reason: str) -> None:
+        if self._corruption_cb is not None:
+            self._corruption_cb()
+        raise PartitionCorruptError(f"corrupt v2 partition: {reason}")
+
+    def _verify_payload(self) -> None:
+        """Check the ids/values CRCs (version-3 payloads, once)."""
+        h = self.v2_header
+        ids_nbytes = h.n_records * _IDS_ITEMSIZE
+        val_nbytes = h.n_records * h.row_nbytes
+        # Integrity reads bypass materialised_bytes on purpose: the metric
+        # tracks bytes served to the reader, not safety re-reads.
+        if zlib.crc32(self._read(h.ids_offset, ids_nbytes)) != h.crcs[2]:
+            self._corrupt("ids payload checksum mismatch")
+        if zlib.crc32(self._read(h.values_offset, val_nbytes)) != h.crcs[3]:
+            self._corrupt("values payload checksum mismatch")
+        self._verify_payload_pending = False
 
     # -- geometry ---------------------------------------------------------------
 
@@ -355,17 +499,25 @@ class PartitionV2View:
 
     def _map_run(self, start: int, count: int) -> tuple[np.ndarray, np.ndarray]:
         """Map one contiguous record run as (ids, values) views."""
+        if self._verify_payload_pending:
+            self._verify_payload()
         h = self.v2_header
         ids_nbytes = count * _IDS_ITEMSIZE
         val_nbytes = count * h.row_nbytes
-        ids = np.frombuffer(
-            self._read(h.ids_offset + start * _IDS_ITEMSIZE, ids_nbytes),
-            dtype=np.int64,
+        ids_buf = self._read(h.ids_offset + start * _IDS_ITEMSIZE, ids_nbytes)
+        val_buf = self._read(h.values_offset + start * h.row_nbytes,
+                             val_nbytes)
+        # A checked backend raises on out-of-range requests; this guards
+        # custom read callbacks that silently return short slices, which
+        # would otherwise surface as numpy reshape errors.
+        if len(ids_buf) != ids_nbytes or len(val_buf) != val_nbytes:
+            self._corrupt(
+                f"short payload read for records [{start}, {start + count})"
+            )
+        ids = np.frombuffer(ids_buf, dtype=np.int64)
+        values = np.frombuffer(val_buf, dtype=np.float64).reshape(
+            count, h.series_length
         )
-        values = np.frombuffer(
-            self._read(h.values_offset + start * h.row_nbytes, val_nbytes),
-            dtype=np.float64,
-        ).reshape(count, h.series_length)
         self.materialised_bytes += ids_nbytes + val_nbytes
         return ids, values
 

@@ -1,0 +1,459 @@
+"""End-to-end chaos tests: corruption, degradation, and the parity oracle.
+
+Three layers of guarantees pinned down here:
+
+* **Integrity** — per-section CRC32 checksums (partition header v3)
+  catch bit flips in every checksummed section, in every verify mode
+  that covers the section, raising
+  :class:`~repro.exceptions.PartitionCorruptError` and bumping
+  ``dfs.corruption_detected``.
+* **Degradation** — ``on_partition_failure="skip"`` answers queries from
+  whatever partitions survive, surfacing ``degraded``/``coverage``/
+  ``partitions_failed`` through stats, ``explain_query`` and telemetry.
+* **The zero-fault parity oracle** — a zero-rate
+  :class:`~repro.resilience.FaultPlan` (the full injector + retry + CRC
+  machinery armed, no fault ever fired) is bit-transparent: answers and
+  logical counters identical to a plain build, across storage formats
+  and worker counts.  Plus: same chaos seed, same results — twice.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.config import ON_PARTITION_FAILURE_ENV, ClimberConfig
+from repro.core.index import ClimberIndex
+from repro.exceptions import (
+    ConfigurationError,
+    PartitionCorruptError,
+    PartitionLostError,
+)
+from repro.obs import Telemetry
+from repro.resilience import (
+    FAULT_ENV_BITFLIP_RATE,
+    FAULT_ENV_LOSS_RATE,
+    FAULT_ENV_RATE,
+    FAULT_ENV_SEED,
+    FAULT_ENV_STRAGGLER_RATE,
+    FaultPlan,
+    RetryPolicy,
+)
+from repro.series import SeriesDataset
+from repro.storage import PartitionFile, SimulatedDFS
+from repro.storage.engine import decode_v2_header
+
+#: This module pins down explicit, seeded fault plans against fault-free
+#: references, so ambient chaos (the CI smoke exports CLIMBER_FAULT_* over
+#: the whole tier-1 suite) is scrubbed here — otherwise the "plain"
+#: reference builds would themselves run faulted and the parity oracles
+#: would compare two different chaos schedules.
+CHAOS_ENV = (
+    FAULT_ENV_SEED, FAULT_ENV_RATE, FAULT_ENV_LOSS_RATE,
+    FAULT_ENV_BITFLIP_RATE, FAULT_ENV_STRAGGLER_RATE,
+    ON_PARTITION_FAILURE_ENV,
+)
+
+
+@pytest.fixture(autouse=True)
+def _scrub_chaos_env(monkeypatch):
+    for var in CHAOS_ENV:
+        monkeypatch.delenv(var, raising=False)
+
+
+@pytest.fixture(scope="class", autouse=True)
+def _scrub_chaos_env_for_class_fixtures():
+    # Class-scoped builds (lossy_setup) run before the function-scoped
+    # scrub above, so the env must already be clean at class setup.
+    with pytest.MonkeyPatch.context() as mp:
+        for var in CHAOS_ENV:
+            mp.delenv(var, raising=False)
+        yield
+
+
+def _dataset(n=2000, length=64, seed=17):
+    rng = np.random.default_rng(seed)
+    return SeriesDataset(rng.standard_normal((n, length)))
+
+
+def _config(**overrides):
+    base = dict(
+        word_length=8,
+        n_pivots=24,
+        prefix_length=4,
+        capacity=64,
+        sample_fraction=0.5,
+        seed=5,
+        n_input_partitions=8,
+    )
+    base.update(overrides)
+    return ClimberConfig(**base)
+
+
+def _queries(n=10, length=64, seed=23):
+    return np.random.default_rng(seed).standard_normal((n, length))
+
+
+def _answers(index, queries, k=5, **kwargs):
+    return [
+        (tuple(int(i) for i in r.ids), tuple(float(d) for d in r.distances))
+        for r in index.knn_batch(queries, k, **kwargs)
+    ]
+
+
+def make_partition(pid="p0", n_clusters=3, per_cluster=5, length=8, seed=0):
+    rng = np.random.default_rng(seed)
+    clusters = {}
+    next_id = 0
+    for c in range(n_clusters):
+        ids = np.arange(next_id, next_id + per_cluster)
+        next_id += per_cluster
+        clusters[f"g0/{c}"] = (ids, rng.normal(size=(per_cluster, length)))
+    return PartitionFile.from_clusters(pid, clusters)
+
+
+# -- checksum integrity -----------------------------------------------------------
+
+
+class TestChecksumIntegrity:
+    def _dfs_with_flipped_byte(self, section, verify="lazy"):
+        """A DFS whose stored p0 has one bit flipped inside ``section``."""
+        dfs = SimulatedDFS(verify=verify)
+        dfs.write_partition(make_partition("p0"))
+        backend = dfs.engine.backend
+        name = "p0.part"
+        payload = bytearray(
+            backend.read_range(name, 0, backend.size(name))
+        )
+        h = decode_v2_header(bytes(payload))
+        offsets = {
+            "meta": h.header_size,
+            "directory": h.dir_offset,
+            "ids": h.ids_offset,
+            "values": h.values_offset,
+        }
+        payload[offsets[section] + 1] ^= 0x04
+        backend.write(name, bytes(payload))
+        return dfs
+
+    @pytest.mark.parametrize("section", ["meta", "directory", "ids", "values"])
+    def test_eager_verify_catches_every_section(self, section):
+        dfs = self._dfs_with_flipped_byte(section, verify="eager")
+        with pytest.raises(PartitionCorruptError):
+            dfs.read_partition("p0")
+        c = dfs.counters
+        assert c.corruption_detected >= 1
+        assert c.read_failures == 1
+        assert c.partitions_read == 0
+
+    @pytest.mark.parametrize("section", ["meta", "directory"])
+    def test_lazy_verify_catches_structural_sections_at_open(self, section):
+        dfs = self._dfs_with_flipped_byte(section, verify="lazy")
+        with pytest.raises(PartitionCorruptError):
+            dfs.read_partition("p0")
+        assert dfs.counters.corruption_detected >= 1
+
+    @pytest.mark.parametrize("section", ["ids", "values"])
+    def test_lazy_verify_catches_payload_on_first_map(self, section):
+        dfs = self._dfs_with_flipped_byte(section, verify="lazy")
+        part = dfs.read_partition("p0")  # open succeeds: payload untouched
+        with pytest.raises(PartitionCorruptError):
+            part.read_cluster("g0/0")
+        assert dfs.counters.corruption_detected >= 1
+
+    @pytest.mark.parametrize("section", ["ids", "values"])
+    def test_verify_off_serves_corrupt_payload(self, section):
+        # Documented trade-off: "off" skips CRC checks entirely, so the
+        # flip reads back as data — the mode exists for measuring checksum
+        # overhead, not for production use.
+        dfs = self._dfs_with_flipped_byte(section, verify="off")
+        part = dfs.read_partition("p0")
+        part.read_cluster("g0/0")
+        assert dfs.counters.corruption_detected == 0
+
+    def test_legacy_v2_payload_still_readable(self):
+        # checksums=False writes byte-exact legacy version-2 payloads; a
+        # default (verifying) DFS must read them without complaint.
+        writer = SimulatedDFS(checksums=False)
+        ref = make_partition("p0")
+        writer.write_partition(ref)
+        name = "p0.part"
+        payload = bytes(writer.engine.backend.read_range(
+            name, 0, writer.engine.backend.size(name)
+        ))
+        assert decode_v2_header(payload).crcs is None
+        reader = SimulatedDFS(verify="eager")
+        reader.engine.backend.write(name, payload)
+        reader._register("p0", ref.nbytes, ref.record_count,
+                         ref.series_length)
+        part = reader.read_partition("p0")
+        np.testing.assert_array_equal(part.read_all()[1], ref.values)
+
+    def test_checksummed_payload_carries_crc_block(self):
+        a, b = SimulatedDFS(checksums=True), SimulatedDFS(checksums=False)
+        for dfs in (a, b):
+            dfs.write_partition(make_partition("p0"))
+
+        def header(dfs):
+            backend = dfs.engine.backend
+            return decode_v2_header(bytes(
+                backend.read_range("p0.part", 0, backend.size("p0.part"))
+            ))
+
+        ha, hb = header(a), header(b)
+        assert ha.crcs is not None and len(ha.crcs) == 4
+        assert hb.crcs is None
+        # The CRC block costs 16 header bytes (possibly padded out to the
+        # next 64-byte payload alignment boundary) and nothing logical.
+        assert a.engine.physical_nbytes("p0") \
+            > b.engine.physical_nbytes("p0")
+        assert a.partition_nbytes("p0") == b.partition_nbytes("p0")
+
+    def test_truncated_blob_raises_typed_storage_error(self):
+        # A blob truncated mid-payload must surface as a typed
+        # StorageError (never a bare struct/IndexError) and charge
+        # read_failures.
+        from repro.exceptions import StorageError
+
+        dfs = SimulatedDFS()
+        dfs.write_partition(make_partition("p0"))
+        backend = dfs.engine.backend
+        payload = bytes(backend.read_range("p0.part", 0,
+                                           backend.size("p0.part")))
+        backend.write("p0.part", payload[: len(payload) // 2])
+        with pytest.raises(StorageError):
+            part = dfs.read_partition("p0")
+            part.read_all()
+        assert dfs.counters.read_failures + \
+            dfs.counters.corruption_detected >= 1
+
+
+# -- graceful degradation ---------------------------------------------------------
+
+
+class TestDegradedQueries:
+    @pytest.fixture(scope="class")
+    def lossy_setup(self):
+        """An index over a store where ~30% of partitions are lost."""
+        dataset = _dataset()
+        plan = FaultPlan(seed=1234, loss_rate=0.3)
+        config = _config(fault_plan=plan,
+                         retry_policy=RetryPolicy(max_attempts=2,
+                                                  backoff_base_s=0.0))
+        index = ClimberIndex.build(dataset, config)
+        lost = [
+            p for p in index.dfs.list_partitions()
+            if plan.lost(index.dfs.engine.blob_name(p))
+        ]
+        assert lost, "seed must lose at least one partition"
+        reference = ClimberIndex.build(dataset, _config())
+        return index, reference, lost
+
+    def test_raise_mode_propagates_lost_partition(self, lossy_setup):
+        index, _, lost = lossy_setup
+        queries = _queries(30)
+        with pytest.raises(PartitionLostError):
+            for q in queries:
+                index.knn(q, k=5, on_partition_failure="raise")
+
+    def test_skip_mode_degrades_and_reports_coverage(self, lossy_setup):
+        index, reference, lost = lossy_setup
+        queries = _queries(30)
+        results = index.knn_batch(queries, k=5, on_partition_failure="skip")
+        reference_results = reference.knn_batch(queries, k=5)
+        degraded = [r for r in results if r.stats.degraded]
+        assert degraded, "some query must touch a lost partition"
+        read_failures = index.dfs.counters.read_failures
+        assert read_failures >= len(degraded)
+        for r, ref in zip(results, reference_results):
+            stats = r.stats
+            if not stats.degraded:
+                assert stats.coverage == 1.0
+                assert np.array_equal(r.ids, ref.ids)
+                continue
+            assert 0.0 <= stats.coverage < 1.0
+            assert set(stats.partitions_failed) <= set(lost)
+            assert not (set(stats.partitions_failed)
+                        & set(stats.partitions_loaded))
+            # A degraded answer comes from surviving partitions only: it
+            # is a subset of what a scan of those partitions can yield,
+            # and never *better* than the complete answer.
+            assert len(r.ids) <= len(ref.ids)
+
+    def test_skip_mode_never_raises_across_variants(self, lossy_setup):
+        index, _, _ = lossy_setup
+        queries = _queries(8)
+        for variant in ("knn", "adaptive", "od-smallest"):
+            results = index.knn_batch(queries, k=5, variant=variant,
+                                      on_partition_failure="skip")
+            assert len(results) == queries.shape[0]
+
+    def test_explain_query_surfaces_degradation(self, lossy_setup):
+        index, _, _ = lossy_setup
+        queries = _queries(30)
+        report = index.explain_query(queries, k=5,
+                                     on_partition_failure="skip")
+        assert report["totals"]["degraded_queries"] >= 1
+        assert report["totals"]["partitions_failed"] >= 1
+        for entry in report["queries"]:
+            assert entry["coverage"] <= 1.0
+            assert entry["degraded"] == bool(entry["partitions_failed"])
+
+    def test_env_variable_sets_default_mode(self, lossy_setup, monkeypatch):
+        index, _, _ = lossy_setup
+        queries = _queries(30)
+        monkeypatch.setenv(ON_PARTITION_FAILURE_ENV, "skip")
+        results = index.knn_batch(queries, k=5)
+        assert any(r.stats.degraded for r in results)
+        monkeypatch.setenv(ON_PARTITION_FAILURE_ENV, "sideways")
+        with pytest.raises(ConfigurationError):
+            index.knn(queries[0], k=5)
+
+    def test_invalid_mode_rejected(self, lossy_setup):
+        index, _, _ = lossy_setup
+        with pytest.raises(ConfigurationError):
+            index.knn(_queries(1)[0], k=5, on_partition_failure="maybe")
+        with pytest.raises(ConfigurationError):
+            _config(on_partition_failure="maybe")
+
+    def test_degraded_queries_recorded_in_telemetry(self, lossy_setup):
+        index, _, _ = lossy_setup
+        queries = _queries(30)
+        tel = Telemetry(enabled=True)
+        old = index.telemetry
+        index.telemetry = tel
+        try:
+            index.knn_batch(queries, k=5, on_partition_failure="skip")
+        finally:
+            index.telemetry = old
+        snap = tel.registry.snapshot()
+        assert snap["counters"]["query.degraded"] >= 1
+        assert snap["counters"]["query.partitions_failed"] >= 1
+
+
+# -- the parity oracle ------------------------------------------------------------
+
+
+class TestZeroFaultParity:
+    @pytest.mark.parametrize("fmt", ["v1", "v2"])
+    @pytest.mark.parametrize("n_workers", [1, 2, 4])
+    def test_armed_resilience_is_bit_transparent(self, fmt, n_workers):
+        dataset = _dataset()
+        queries = _queries(12)
+        reference = ClimberIndex.build(
+            dataset, _config(partition_format=fmt)
+        )
+        armed = ClimberIndex.build(
+            dataset,
+            _config(
+                partition_format=fmt,
+                n_workers=n_workers,
+                fault_plan=FaultPlan(seed=999),  # all rates 0: armed, silent
+                verify_checksums="eager",
+                on_partition_failure="skip",
+            ),
+        )
+        assert armed.dfs.fault_injector is not None
+        assert _answers(reference, queries) == _answers(armed, queries)
+        ref_c = dataclasses.asdict(reference.dfs.counters)
+        armed_c = dataclasses.asdict(armed.dfs.counters)
+        assert ref_c == armed_c
+        assert armed_c["retries"] == 0
+        assert armed_c["read_failures"] == 0
+        assert armed_c["corruption_detected"] == 0
+        assert not any(
+            r.stats.degraded for r in armed.knn_batch(queries, k=5)
+        )
+
+    def test_checksums_off_matches_checksums_on_logically(self):
+        dataset = _dataset()
+        queries = _queries(8)
+        on = ClimberIndex.build(dataset, _config(partition_checksums=True))
+        off = ClimberIndex.build(dataset, _config(partition_checksums=False))
+        assert _answers(on, queries) == _answers(off, queries)
+        assert dataclasses.asdict(on.dfs.counters) \
+            == dataclasses.asdict(off.dfs.counters)
+
+    def test_same_chaos_seed_same_everything(self):
+        dataset = _dataset()
+        queries = _queries(20)
+        plan = FaultPlan(seed=777, transient_rate=0.15, loss_rate=0.1)
+        runs = []
+        for _ in range(2):
+            index = ClimberIndex.build(
+                dataset,
+                _config(fault_plan=plan,
+                        retry_policy=RetryPolicy(max_attempts=3,
+                                                 backoff_base_s=0.0)),
+            )
+            answers = _answers(index, queries,
+                               on_partition_failure="skip")
+            failed = [
+                tuple(r.stats.partitions_failed)
+                for r in index.knn_batch(queries, k=5,
+                                         on_partition_failure="skip")
+            ]
+            runs.append((answers, failed,
+                         dataclasses.asdict(index.dfs.counters)))
+        assert runs[0] == runs[1]
+
+    def test_transient_faults_are_fully_recovered(self):
+        # Transient-only chaos at a modest rate: every read eventually
+        # succeeds within the retry budget, so answers are bit-identical
+        # to the unfaulted reference and nothing is degraded.
+        dataset = _dataset()
+        queries = _queries(12)
+        reference = ClimberIndex.build(dataset, _config())
+        chaotic = ClimberIndex.build(
+            dataset,
+            _config(fault_plan=FaultPlan(seed=4242, transient_rate=0.2),
+                    retry_policy=RetryPolicy(max_attempts=6,
+                                             backoff_base_s=0.0)),
+        )
+        assert _answers(reference, queries) == _answers(chaotic, queries)
+        c = chaotic.dfs.counters
+        assert c.retries >= 1
+        assert c.read_failures == 0
+
+
+# -- telemetry sampling -----------------------------------------------------------
+
+
+class TestTelemetrySampling:
+    def test_probe_sampling_one_in_n(self):
+        tel = Telemetry(enabled=True, sample_every=4)
+        probes = [tel.probe() for _ in range(8)]
+        assert [p is not None for p in probes] == [
+            True, False, False, False, True, False, False, False,
+        ]
+        assert Telemetry(enabled=False, sample_every=4).probe() is None
+        with pytest.raises(ValueError):
+            Telemetry(enabled=True, sample_every=0)
+
+    def test_sampled_out_queries_pay_only_query_count(self):
+        dataset = _dataset(n=600)
+        config = _config(telemetry=True, telemetry_sample_every=4)
+        index = ClimberIndex.build(dataset, config)
+        queries = _queries(8)
+        for q in queries:
+            index.knn(q, k=3)
+        snap = index.telemetry.registry.snapshot()
+        assert snap["counters"]["query.count"] == 8
+        # Only the 2 sampled queries record full metrics.
+        assert snap["histograms"]["query.wall_s"]["count"] == 2
+        assert index.telemetry.sample_every == 4
+
+    def test_sampling_does_not_change_answers(self):
+        dataset = _dataset(n=600)
+        queries = _queries(8)
+        plain = ClimberIndex.build(dataset, _config())
+        sampled = ClimberIndex.build(
+            dataset, _config(telemetry=True, telemetry_sample_every=3)
+        )
+        assert _answers(plain, queries) == _answers(sampled, queries)
+
+    def test_config_validates_sample_every(self):
+        with pytest.raises(ConfigurationError):
+            _config(telemetry_sample_every=0)

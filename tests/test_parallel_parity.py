@@ -256,9 +256,10 @@ class TestQueryParity:
 
 
 class TestFailurePropagation:
-    def test_worker_exception_surfaces_from_build(self, monkeypatch):
-        # 3000 records / 4096-row blocks -> one conversion task; failing it
-        # must abort the build on the caller's thread, not hang the pool.
+    def test_transient_worker_failure_recovers_via_retry(self, monkeypatch):
+        # 3000 records / 4096-row blocks -> one conversion task; a one-shot
+        # injected failure is resubmitted (parallel.task_retries) and the
+        # build completes — bit-identical to an unfaulted serial build.
         dataset = _dataset(n=3000)
         real = builder_mod._convert_block
         calls = {"n": 0}
@@ -269,9 +270,36 @@ class TestFailurePropagation:
                 raise RuntimeError("injected worker failure")
             return real(task)
 
+        from repro.obs import global_registry
+
+        retries_before = global_registry().counter(
+            "parallel.task_retries"
+        ).value
         monkeypatch.setattr(builder_mod, "_convert_block", flaky)
-        with pytest.raises(RuntimeError, match="injected worker failure"):
-            build_index_artifacts(dataset, _config(2))
+        artifacts = build_index_artifacts(dataset, _config(2))
+        monkeypatch.setattr(builder_mod, "_convert_block", real)
+        reference = build_index_artifacts(dataset, _config(1))
+        assert calls["n"] >= 2
+        assert global_registry().counter(
+            "parallel.task_retries"
+        ).value > retries_before
+        assert sorted(artifacts.dfs.list_partitions()) == sorted(
+            reference.dfs.list_partitions()
+        )
+
+    def test_persistent_worker_failure_surfaces_from_build(self, monkeypatch):
+        # A deterministic task failure survives the retry and the serial
+        # rerun, and must abort the build on the caller's thread — not
+        # hang the pool.
+        dataset = _dataset(n=3000)
+
+        def broken(task):
+            raise RuntimeError("injected worker failure")
+
+        monkeypatch.setattr(builder_mod, "_convert_block", broken)
+        with pytest.warns(RuntimeWarning, match="failed twice"):
+            with pytest.raises(RuntimeError, match="injected worker failure"):
+                build_index_artifacts(dataset, _config(2))
 
     def test_worker_exception_surfaces_from_knn_batch(self, monkeypatch):
         dataset = _dataset(n=1000)
@@ -285,8 +313,9 @@ class TestFailurePropagation:
         queries = np.random.default_rng(1).standard_normal(
             (20, dataset.length)
         )
-        with pytest.raises(RuntimeError, match="injected shard failure"):
-            index.knn_batch(queries, k=3)
+        with pytest.warns(RuntimeWarning, match="failed twice"):
+            with pytest.raises(RuntimeError, match="injected shard failure"):
+                index.knn_batch(queries, k=3)
 
 
 def test_env_var_drives_build(monkeypatch):

@@ -37,3 +37,30 @@ class TestLazyExports:
     def test_exceptions_importable(self):
         assert issubclass(repro.MemoryBudgetExceeded, repro.ReproError)
         assert issubclass(repro.ConfigurationError, repro.ReproError)
+
+    def test_storage_fault_exceptions_importable(self):
+        # PR 8: the resilience error taxonomy is part of the public API.
+        assert issubclass(repro.PartitionCorruptError, repro.StorageError)
+        assert issubclass(repro.PartitionLostError, repro.StorageError)
+        assert issubclass(repro.TransientReadError, repro.StorageError)
+        assert issubclass(repro.ReadTimeoutError, repro.StorageError)
+
+    def test_resilience_exports(self):
+        plan = repro.FaultPlan(seed=7, transient_rate=0.1)
+        assert plan.active
+        assert repro.FaultInjector is not None
+        assert repro.RetryPolicy().max_attempts >= 1
+        for name in ("FaultPlan", "FaultInjector", "RetryPolicy"):
+            assert name in repro.__all__
+
+    def test_chaos_config_knobs(self):
+        cfg = repro.ClimberConfig(
+            fault_plan=repro.FaultPlan(seed=3),
+            retry_policy=repro.RetryPolicy(max_attempts=2),
+            on_partition_failure="skip",
+            verify_checksums="eager",
+            partition_checksums=True,
+            telemetry_sample_every=8,
+        )
+        assert cfg.effective_on_partition_failure == "skip"
+        assert cfg.effective_fault_plan.seed == 3
