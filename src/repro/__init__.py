@@ -28,6 +28,9 @@ from repro.exceptions import (
     PartitionNotFoundError,
     ReadTimeoutError,
     ReproError,
+    ServiceClosedError,
+    ServiceError,
+    ServiceOverloadedError,
     StorageError,
     TransientReadError,
 )
@@ -45,10 +48,16 @@ __all__ = [
     "PartitionLostError",
     "TransientReadError",
     "ReadTimeoutError",
+    "ServiceError",
+    "ServiceOverloadedError",
+    "ServiceClosedError",
     "MemoryBudgetExceeded",
     "ClimberConfig",
     "ClimberIndex",
     "QueryResult",
+    "QueryService",
+    "QueryResponse",
+    "ServeConfig",
     "SeriesDataset",
     "random_walk_dataset",
     "make_dataset",
@@ -74,6 +83,10 @@ def __getattr__(name):
         from repro import resilience
 
         return getattr(resilience, name)
+    if name in ("QueryService", "QueryResponse", "ServeConfig"):
+        from repro import serve
+
+        return getattr(serve, name)
     if name == "SeriesDataset":
         from repro.series import SeriesDataset
 

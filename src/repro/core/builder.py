@@ -54,6 +54,7 @@ from repro.obs import NULL_TELEMETRY, Telemetry
 from repro.pivots import decay_weights, permutation_prefixes, select_random_pivots
 from repro.series import SeriesDataset, paa_transform
 from repro.storage import PartitionFile, SimulatedDFS
+from repro.storage.engine.format import encode_partition_v2_arrays
 
 __all__ = ["BuildArtifacts", "build_index_artifacts"]
 
@@ -494,50 +495,66 @@ def _redistribute_flat(
     buffer — no per-record Python, no intermediate v1 partition objects,
     no sorted copy of the dataset.
 
-    With a shared-memory ``executor``, the per-group trie compiles and the
-    per-partition payload encodes fan out (both are pure functions of
-    frozen inputs); stores and their counters run on this thread in
-    partition order, so the stored bytes and every counter are identical
-    to the serial path.  Process pools (no shared address space) and the
-    v1 in-memory object store fall back to the serial write loop — and
-    since PR 7 that degrade is *visible*: a RuntimeWarning plus the
-    process-lifetime ``parallel.fallbacks`` counter, instead of silently
-    encoding on one core while the caller believes it is parallel.
+    With any pooled ``executor``, the per-partition payload encodes fan
+    out (pure functions of the record arrays); stores and their counters
+    run on this thread in partition order, so the stored bytes and every
+    counter are identical to the serial path.  Shared-memory pools encode
+    through the live engine handle zero-copy; process pools receive a
+    plain-data, picklable spec per partition — the records pre-gathered
+    into fresh arrays plus the format/checksum flags — and encode through
+    the module-level :func:`_encode_partition_task` (the PR-6 "engine
+    handles aren't picklable" serial fallback is gone).  The per-group
+    trie compiles still need the caller's address space, so process pools
+    compile serially; the only remaining encode fallback is the v1
+    in-memory object store (live ``PartitionFile`` objects, nothing to
+    encode), which stays *visible*: a RuntimeWarning plus the
+    process-lifetime ``parallel.fallbacks`` counter.
     """
-    shared = executor is not None and executor.n_workers > 1 \
-        and executor.shares_memory
-    if executor is not None and executor.n_workers > 1 and not shared:
-        record_parallel_fallback(
-            "redistribution encodes need the caller's address space "
-            "(live engine handles are not picklable); encoding serially"
-        )
+    pooled = executor is not None and executor.n_workers > 1
+    shared = pooled and executor.shares_memory
     with telemetry.trace("build.redistribute.compile"):
         router = skeleton.flat_router(executor=executor if shared else None)
     with telemetry.trace("build.redistribute.route"):
         kid_of = router.route(ranked_all, gids_all)
         order, parts = router.partition_layout(kid_of)
     written_bytes = 0
-    if shared and not dfs.stores_encoded:
+    if pooled and not dfs.stores_encoded:
         record_parallel_fallback(
             "v1 in-memory object store holds live PartitionFile objects "
             "(no encoded payloads to fan out); writing serially"
         )
     with telemetry.trace("build.redistribute.write"):
-        if shared and dfs.stores_encoded:
+        if pooled and dfs.stores_encoded:
             engine = dfs.engine
             series_length = int(dataset.values.shape[1])
+            if shared:
+                # Zero-copy encode task: workers share the caller's
+                # address space, so each task gathers its rows straight
+                # from the dataset arrays through the live engine handle.
+                def encode(item):
+                    pid, start, end, header = item
+                    return engine.encode_arrays(
+                        partition_name(pid), dataset.ids, dataset.values,
+                        header, rows=order[start:end],
+                    )
 
-            def encode(item):
-                pid, start, end, header = item
-                return engine.encode_arrays(
-                    partition_name(pid), dataset.ids, dataset.values, header,
-                    rows=order[start:end],
+                # Per-task telemetry only on shared-memory pools: the
+                # wrapper closes over registry locks and must not cross a
+                # pickle boundary.
+                payloads = executor.map(
+                    telemetry.wrap_tasks("build.redistribute.encode",
+                                         encode),
+                    parts,
                 )
-
-            payloads = executor.map(
-                telemetry.wrap_tasks("build.redistribute.encode", encode),
-                parts,
-            )
+            else:
+                specs = [
+                    (partition_name(pid),
+                     dataset.ids[order[start:end]],
+                     dataset.values[order[start:end]],
+                     header, engine.partition_format, engine.checksums)
+                    for pid, start, end, header in parts
+                ]
+                payloads = executor.map(_encode_partition_task, specs)
             for (pid, start, end, header), payload in zip(parts, payloads):
                 written_bytes += dfs.write_encoded_partition(
                     partition_name(pid), payload,
@@ -555,6 +572,23 @@ def _redistribute_flat(
                     rows=order[start:end],
                 )
     return written_bytes, len(parts)
+
+
+def _encode_partition_task(spec):
+    """Encode one partition payload from a plain-data spec.
+
+    A module-level pure function of picklable inputs — the process-pool
+    counterpart of the shared-memory encode closure above.  The spec
+    carries the partition's records as freshly-gathered arrays plus the
+    format/checksum flags, so no live engine or DFS handle crosses the
+    pickle boundary, and the returned bytes are identical to
+    :meth:`StorageEngine.encode_arrays` over the same records.
+    """
+    pid, ids, values, header, fmt, checksums = spec
+    if fmt == "v2":
+        return encode_partition_v2_arrays(pid, ids, values, header,
+                                          checksums=checksums)
+    return PartitionFile.from_arrays(pid, ids, values, header).to_bytes()
 
 
 def _redistribute_legacy(

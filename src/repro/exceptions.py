@@ -66,6 +66,23 @@ class ReadTimeoutError(StorageError):
     the retry loop treats timeouts like transient faults."""
 
 
+class ServiceError(ReproError):
+    """Base class for errors raised by the serving layer (:mod:`repro.serve`)."""
+
+
+class ServiceOverloadedError(ServiceError):
+    """Admission control rejected a request: the service queue is full.
+
+    Raised by :meth:`~repro.serve.QueryService.submit` in ``"reject"``
+    admission mode.  Back off and retry — the index itself is healthy;
+    the service is shedding load instead of letting latency grow without
+    bound."""
+
+
+class ServiceClosedError(ServiceError):
+    """A request was submitted to a service that is not running."""
+
+
 class MemoryBudgetExceeded(ReproError):
     """An in-memory system was asked to hold more data than its budget.
 

@@ -1,0 +1,20 @@
+"""Serving layer: asyncio micro-batching query service over a built index.
+
+The production-shaped front door of the reproduction (ROADMAP's "async
+serving layer" item): :class:`QueryService` coalesces concurrent
+single-query requests into :meth:`~repro.core.ClimberIndex.knn_batch`
+dispatches behind bounded-queue admission control, and every
+:class:`QueryResponse` carries degraded-coverage stats (PR 8) plus
+serving telemetry (queue delay, end-to-end latency, batch size).
+``benchmarks/bench_serving.py`` is the matching load generator
+(QPS + p50/p90/p99 under concurrency).
+
+Batching is bit-transparent — a served answer is byte-identical to a
+direct ``index.knn`` call — and the service leans on the narrowed
+:class:`~repro.storage.SimulatedDFS` lock (same PR) so concurrent
+batches overlap in storage instead of convoying.
+"""
+
+from repro.serve.service import QueryResponse, QueryService, ServeConfig
+
+__all__ = ["QueryService", "QueryResponse", "ServeConfig"]

@@ -1,0 +1,441 @@
+"""Asyncio query service: micro-batching, admission control, degraded stats.
+
+The serving half of the ROADMAP's "millions of users" north star.  A
+:class:`QueryService` fronts one :class:`~repro.core.ClimberIndex` with an
+asyncio request path shaped like a production query tier:
+
+* **micro-batching** — incoming single-query requests are coalesced into
+  :meth:`~repro.core.ClimberIndex.knn_batch` calls (up to
+  :attr:`ServeConfig.max_batch` requests, waiting at most
+  :attr:`ServeConfig.max_delay_s` for stragglers), so the batch pipeline's
+  shared signature/routing work and the DFS read cache amortise across
+  concurrent users exactly as they do across rows of an offline batch;
+* **admission control** — a bounded queue caps in-flight work.  In
+  ``"reject"`` mode an arrival past :attr:`ServeConfig.queue_limit` fails
+  fast with :class:`~repro.exceptions.ServiceOverloadedError` (load
+  shedding); in ``"block"`` mode it backpressures the caller instead;
+* **degraded-coverage responses** — each :class:`QueryResponse` carries
+  the query's :class:`~repro.core.index.QueryStats` plus serving-side
+  telemetry (queue delay, end-to-end latency, the batch it rode in), so a
+  client can see *both* that its answer was computed without some
+  partitions (``coverage``/``degraded``, PR 8) and what the service added
+  on top;
+* **service metrics** — ``serve.*`` counters/histograms on the index's
+  registry (requests, rejections, batch sizes, queue depth, end-to-end
+  latency), exported through the same ``repro.obs/v1`` snapshots as every
+  other subsystem.
+
+Correctness contract: micro-batching is *transparent*.  ``knn_batch`` is
+bit-identical to per-row ``knn`` calls (the PR-6 parity suite), and batch
+composition cannot leak between requests, so a response is byte-identical
+to what the caller would have computed alone — the serving parity test
+and ``benchmarks/bench_serving.py``'s oracle both pin this down.  The
+service relies on the narrowed DFS lock (same PR): with reads of distinct
+partitions overlapping, concurrent batches actually run concurrently
+instead of convoying on storage sleeps.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.index import ClimberIndex, QueryStats
+from repro.exceptions import (
+    ConfigurationError,
+    ServiceClosedError,
+    ServiceOverloadedError,
+)
+from repro.obs import MetricsRegistry
+
+__all__ = ["ServeConfig", "QueryResponse", "QueryService"]
+
+#: Histogram bounds for batch-size observations (requests per dispatch).
+_BATCH_SIZE_BOUNDS = tuple(float(2 ** i) for i in range(11))
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Tunables of the micro-batching query service.
+
+    Parameters
+    ----------
+    max_batch:
+        Most requests coalesced into one ``knn_batch`` dispatch.
+    max_delay_s:
+        Longest a request waits for companions before its batch is
+        dispatched anyway.  The knob trades latency for batching: 0
+        dispatches immediately (every batch is whatever already queued),
+        a few milliseconds lets bursts coalesce.
+    queue_limit:
+        Bound of the admission queue (requests admitted but not yet
+        dispatched).  Arrivals past it are rejected or blocked per
+        ``admission``.
+    admission:
+        ``"reject"`` (default) — fail fast with
+        :class:`~repro.exceptions.ServiceOverloadedError` when the queue
+        is full; ``"block"`` — suspend the submitting coroutine until
+        space frees (backpressure).
+    worker_threads:
+        Threads executing dispatched ``knn_batch`` calls.  1 serialises
+        batch execution (the batcher still collects the next batch while
+        the current one runs); more lets batches overlap in storage waits
+        — useful under fault-injected stragglers, where the narrowed DFS
+        lock lets distinct-partition reads proceed in parallel.
+    """
+
+    max_batch: int = 32
+    max_delay_s: float = 0.002
+    queue_limit: int = 256
+    admission: str = "reject"
+    worker_threads: int = 1
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ConfigurationError("max_batch must be >= 1")
+        if self.max_delay_s < 0:
+            raise ConfigurationError("max_delay_s must be >= 0")
+        if self.queue_limit < 1:
+            raise ConfigurationError("queue_limit must be >= 1")
+        if self.admission not in ("reject", "block"):
+            raise ConfigurationError(
+                f"admission must be 'reject' or 'block', "
+                f"got {self.admission!r}"
+            )
+        if self.worker_threads < 1:
+            raise ConfigurationError("worker_threads must be >= 1")
+
+
+@dataclass(frozen=True)
+class QueryResponse:
+    """One served kNN answer plus per-response serving telemetry."""
+
+    ids: np.ndarray
+    distances: np.ndarray
+    stats: QueryStats
+    latency_s: float
+    """End-to-end: submit to response, including queue and batch waits."""
+    queue_delay_s: float
+    """Admission to dispatch — how long the request waited to be batched."""
+    batch_size: int
+    """Requests in the ``knn_batch`` dispatch this response rode in."""
+
+    @property
+    def degraded(self) -> bool:
+        """True when partitions were skipped (see :class:`QueryStats`)."""
+        return self.stats.degraded
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of wanted partitions actually read (1.0 = complete)."""
+        return self.stats.coverage
+
+
+class _Request:
+    __slots__ = ("query", "key", "future", "t_submit", "t_dispatch")
+
+    def __init__(self, query, key, future, t_submit):
+        self.query = query
+        self.key = key
+        self.future = future
+        self.t_submit = t_submit
+        self.t_dispatch = 0.0
+
+
+_SHUTDOWN = object()
+
+
+class QueryService:
+    """Serve one :class:`~repro.core.ClimberIndex` to concurrent clients.
+
+    Usage::
+
+        service = QueryService(index, ServeConfig(max_batch=16))
+        async with service:
+            response = await service.submit(query, k=10)
+
+    ``submit`` may be awaited from any number of concurrent coroutines;
+    requests sharing ``(k, variant, adaptive_factor, on_partition_failure)``
+    coalesce into shared ``knn_batch`` dispatches.  The event loop is
+    never blocked by index work: dispatches run on a private thread pool
+    (``config.worker_threads`` wide), and the index's own ``n_workers``
+    parallelism applies within each dispatch.
+    """
+
+    def __init__(
+        self,
+        index: ClimberIndex,
+        config: ServeConfig | None = None,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        self.index = index
+        self.config = config or ServeConfig()
+        #: ``serve.*`` metrics land next to the index's ``query.*`` metrics
+        #: by default so one ``repro.obs/v1`` snapshot shows both tiers.
+        self.registry = (
+            registry if registry is not None else index.telemetry.registry
+        )
+        self._c_requests = self.registry.counter("serve.requests")
+        self._c_responses = self.registry.counter("serve.responses")
+        self._c_rejected = self.registry.counter("serve.rejected")
+        self._c_batches = self.registry.counter("serve.batches")
+        self._c_degraded = self.registry.counter("serve.degraded")
+        self._c_failures = self.registry.counter("serve.failures")
+        self._g_queue_depth = self.registry.gauge("serve.queue_depth")
+        self._h_batch_size = self.registry.histogram(
+            "serve.batch_size", bounds=_BATCH_SIZE_BOUNDS
+        )
+        self._h_latency = self.registry.histogram("serve.latency_s")
+        self._h_queue_delay = self.registry.histogram("serve.queue_delay_s")
+        self._queue: asyncio.Queue | None = None
+        self._space: asyncio.Event | None = None
+        self._batcher: asyncio.Task | None = None
+        self._inflight: set[asyncio.Task] = set()
+        self._pool: ThreadPoolExecutor | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+
+    # -- lifecycle --------------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        return self._batcher is not None
+
+    async def start(self) -> "QueryService":
+        """Start the batcher; idempotent-safe to call once per lifetime."""
+        if self.running:
+            raise ConfigurationError("service already started")
+        self._loop = asyncio.get_running_loop()
+        # The queue is unbounded; admission control happens in submit()
+        # against config.queue_limit, so "reject" can fail fast without
+        # racing a bounded queue's put/get and "block" can wait on an
+        # explicit capacity event.
+        self._queue = asyncio.Queue()
+        self._space = asyncio.Event()
+        self._space.set()
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.config.worker_threads,
+            thread_name_prefix="climber-serve",
+        )
+        self._batcher = asyncio.ensure_future(self._run())
+        return self
+
+    async def stop(self, drain: bool = True) -> None:
+        """Stop the service.
+
+        With ``drain`` (default) every admitted request is answered first;
+        otherwise pending requests fail with
+        :class:`~repro.exceptions.ServiceClosedError`.  In-flight batch
+        dispatches always run to completion — the index is left idle.
+        """
+        if not self.running:
+            return
+        queue, batcher = self._queue, self._batcher
+        self._batcher = None  # new submits fail fast from here on
+        self._space.set()  # wake blocked submitters; they see not-running
+        if not drain:
+            drained: list[_Request] = []
+            while not queue.empty():
+                item = queue.get_nowait()
+                if item is not _SHUTDOWN:
+                    drained.append(item)
+            for req in drained:
+                if not req.future.done():
+                    req.future.set_exception(
+                        ServiceClosedError("service stopped before dispatch")
+                    )
+        queue.put_nowait(_SHUTDOWN)
+        await batcher
+        if self._inflight:
+            await asyncio.gather(*tuple(self._inflight))
+        self._pool.shutdown(wait=True)
+        self._pool = None
+        self._queue = None
+        self._g_queue_depth.set(0)
+
+    async def __aenter__(self) -> "QueryService":
+        return await self.start()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop()
+
+    # -- request path -----------------------------------------------------------
+
+    async def submit(
+        self,
+        query: np.ndarray,
+        k: int,
+        variant: str = "adaptive",
+        adaptive_factor: int | None = None,
+        on_partition_failure: str | None = None,
+    ) -> QueryResponse:
+        """Admit one kNN query and await its response.
+
+        Arguments mirror :meth:`~repro.core.ClimberIndex.knn`; requests
+        with equal argument tuples may share a ``knn_batch`` dispatch
+        (answers are unaffected — batching is bit-transparent).
+
+        Raises
+        ------
+        ServiceOverloadedError
+            ``admission="reject"`` and the queue is at ``queue_limit``.
+        ServiceClosedError
+            The service is not running.
+        """
+        if not self.running:
+            raise ServiceClosedError("service is not running")
+        self._c_requests.inc()
+        while self._queue.qsize() >= self.config.queue_limit:
+            if self.config.admission == "reject":
+                self._c_rejected.inc()
+                raise ServiceOverloadedError(
+                    f"admission queue at limit ({self.config.queue_limit})"
+                )
+            self._space.clear()
+            await self._space.wait()
+            if not self.running:
+                raise ServiceClosedError("service stopped while blocked")
+        future = self._loop.create_future()
+        req = _Request(
+            np.asarray(query, dtype=np.float64),
+            (int(k), variant, adaptive_factor, on_partition_failure),
+            future,
+            time.perf_counter(),
+        )
+        self._queue.put_nowait(req)
+        self._g_queue_depth.set(self._queue.qsize())
+        return await future
+
+    # -- batcher ----------------------------------------------------------------
+
+    async def _run(self) -> None:
+        cfg = self.config
+        loop = asyncio.get_running_loop()
+        while True:
+            first = await self._queue.get()
+            self._signal_space()
+            if first is _SHUTDOWN:
+                break
+            batch = [first]
+            shutdown = False
+            deadline = loop.time() + cfg.max_delay_s
+            while len(batch) < cfg.max_batch:
+                timeout = deadline - loop.time()
+                if timeout <= 0:
+                    # Window closed: take whatever is already queued, but
+                    # never wait for more.
+                    try:
+                        item = self._queue.get_nowait()
+                    except asyncio.QueueEmpty:
+                        break
+                else:
+                    try:
+                        item = await asyncio.wait_for(
+                            self._queue.get(), timeout
+                        )
+                    except asyncio.TimeoutError:
+                        break
+                self._signal_space()
+                if item is _SHUTDOWN:
+                    shutdown = True
+                    break
+                batch.append(item)
+            self._g_queue_depth.set(self._queue.qsize())
+            task = asyncio.ensure_future(self._dispatch(batch))
+            self._inflight.add(task)
+            task.add_done_callback(self._inflight.discard)
+            if shutdown:
+                break
+
+    def _signal_space(self) -> None:
+        if (self.config.admission == "block"
+                and self._queue.qsize() < self.config.queue_limit):
+            self._space.set()
+
+    async def _dispatch(self, batch: list[_Request]) -> None:
+        """Execute one micro-batch off-loop and resolve its futures.
+
+        Requests are grouped by their argument key — ``knn_batch`` takes
+        one ``k``/``variant`` for all rows — and each group runs as one
+        call on the service pool.  Group execution order within a batch
+        is deterministic (insertion order of first occurrence).
+        """
+        t_dispatch = time.perf_counter()
+        for req in batch:
+            req.t_dispatch = t_dispatch
+        self._c_batches.inc()
+        self._h_batch_size.observe(len(batch))
+        groups: dict[tuple, list[_Request]] = {}
+        for req in batch:
+            groups.setdefault(req.key, []).append(req)
+        for key, group in groups.items():
+            k, variant, adaptive_factor, on_failure = key
+
+            try:
+                queries = np.stack([req.query for req in group])
+
+                def run(queries=queries, k=k, variant=variant,
+                        adaptive_factor=adaptive_factor,
+                        on_failure=on_failure):
+                    return self.index.knn_batch(
+                        queries, k, variant=variant,
+                        adaptive_factor=adaptive_factor,
+                        on_partition_failure=on_failure,
+                    )
+
+                results = await self._loop.run_in_executor(self._pool, run)
+            except Exception as err:
+                self._c_failures.inc(len(group))
+                for req in group:
+                    if not req.future.done():
+                        req.future.set_exception(err)
+                continue
+            t_done = time.perf_counter()
+            for req, result in zip(group, results):
+                latency = t_done - req.t_submit
+                self._h_latency.observe(latency)
+                self._h_queue_delay.observe(req.t_dispatch - req.t_submit)
+                self._c_responses.inc()
+                if result.stats.degraded:
+                    self._c_degraded.inc()
+                if not req.future.done():
+                    req.future.set_result(QueryResponse(
+                        ids=result.ids,
+                        distances=result.distances,
+                        stats=result.stats,
+                        latency_s=latency,
+                        queue_delay_s=req.t_dispatch - req.t_submit,
+                        batch_size=len(batch),
+                    ))
+
+    # -- introspection ----------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Serving-tier counters and latency digests, JSON-able.
+
+        A filtered view of the registry: only ``serve.*`` metrics, so the
+        service can be inspected without wading through the index's query
+        histograms (those remain available via ``index.stats()``).
+        """
+        snap = self.registry.snapshot()
+        return {
+            "running": self.running,
+            "config": {
+                "max_batch": self.config.max_batch,
+                "max_delay_s": self.config.max_delay_s,
+                "queue_limit": self.config.queue_limit,
+                "admission": self.config.admission,
+                "worker_threads": self.config.worker_threads,
+            },
+            "metrics": {
+                kind: {
+                    name: value for name, value in metrics.items()
+                    if name.startswith("serve.")
+                }
+                for kind, metrics in snap.items()
+                if isinstance(metrics, dict)
+            },
+        }

@@ -14,12 +14,27 @@ blob stream — while this class keeps everything *simulated* about the DFS:
 * the capacity constraint ``c`` of Def. 12 (``block_records``);
 * an opt-in byte-bounded LRU **read cache** over opened partition handles
   (``cache_bytes``), tracked physically by ``cache_hits``/``cache_misses``;
-* **thread safety** — reads, writes, counters and the cache are guarded by
-  one reentrant lock, so parallel query shards and parallel build stages
-  (:mod:`repro.core.parallel`) can share a DFS.  Logical counters stay
-  exact under concurrency (they are commutative sums taken under the
-  lock); ``cache_hits``/``cache_misses`` describe physical behaviour and
-  depend on interleaving, as any real cache's do;
+* **thread safety with a narrow lock** — one reentrant lock guards only
+  the *mutable bookkeeping*: the partition registry, the read cache and
+  the counter snapshot.  Everything that can block — backend opens,
+  retry-backoff sleeps, fault-injected straggler sleeps — runs **outside**
+  that lock, under a per-partition in-flight guard (single-flight per
+  partition id), so concurrent readers of distinct partitions genuinely
+  overlap instead of convoying behind one reader's sleep.  The narrowed
+  lock preserves three invariants the test suite pins down:
+
+  1. *Exact logical counters* — ``bytes_read``/``partitions_read`` (and
+     the hit/miss split with caching on) are commutative sums taken under
+     the lock, so a thread hammer observes arithmetically exact totals;
+  2. *Deterministic per-name attempt schedules* — the per-partition
+     guard serialises open attempts **per partition id**, so the fault
+     injector's per-name attempt counter advances in the same sequence
+     whether reads are issued serially or from concurrent shards (only
+     cross-partition interleaving, which the schedule never depends on,
+     is left to the OS);
+  3. *Bit-identical zero-fault parity* — with no faults armed the read
+     path does exactly the work of the former coarse-locked one, in the
+     same per-partition order, so answers and counters are unchanged;
 * a **delta-name registry** — ``delta_partitions(base)`` answers the
   ``<base>.d<seq>`` naming-convention lookup from an in-memory index;
 * **header metadata** — ``record_count(pid)`` / ``series_length(pid)``
@@ -207,12 +222,16 @@ class SimulatedDFS:
         self._deltas: dict[str, list[str]] = {}
         self._cache: OrderedDict[str, PartitionHandle] = OrderedDict()
         self._cache_used = 0
-        # One reentrant lock guards registry, counters and cache: partition
-        # opens are cheap (header + directory parse) relative to the kernel
-        # work callers do on the returned handle outside the lock, so a
-        # single coarse lock keeps the invariants simple without becoming
-        # the bottleneck.
+        # The narrow lock: registry, cache and counter mutations only.
+        # Nothing that can block — backend opens, retry sleeps, injected
+        # straggler sleeps — ever runs under it; those happen under the
+        # per-partition guards below so only same-partition reads
+        # serialise (see the module docstring's invariants).
         self._lock = threading.RLock()
+        # Per-partition single-flight guards for the open path, created
+        # lazily under self._lock.  Bounded by the number of registered
+        # partitions, so no eviction is needed.
+        self._inflight: dict[str, threading.Lock] = {}
         # Logical counters live on a MetricsRegistry as dfs.* counters (one
         # schema across the repo); handles are cached so the hot paths pay
         # one .inc() each.  They are always on — never gated on telemetry —
@@ -420,41 +439,78 @@ class SimulatedDFS:
         which in fault-free runs is observationally identical to the
         pre-resilience accounting (every read succeeded).
         """
-        # The whole read — counters, cache probe, open, cache insert — runs
-        # under the lock: opens parse only header + directory, so the held
-        # section stays small while every cache/counter invariant holds
-        # under concurrent readers (the backends' handle caches mutate on
-        # read and are serialised here too).  Retry backoff sleeps happen
-        # under the lock as well — acceptable for a simulated DFS whose
-        # backoffs are milliseconds, and it keeps the per-name attempt
-        # schedule deterministic under concurrent shards.
+        # Lock discipline: the narrow lock covers only the existence check,
+        # the cache probe and the counter/cache mutations.  The open itself
+        # — backend I/O, retry-backoff sleeps, injected straggler sleeps —
+        # runs under the partition's single-flight guard with the narrow
+        # lock *released*, so readers of distinct partitions overlap while
+        # same-partition attempts stay serialised (which is what keeps the
+        # fault injector's per-name attempt schedule deterministic under
+        # concurrent shards).
         with self._lock:
             if partition_id not in self._sizes:
                 raise PartitionNotFoundError(f"no partition {partition_id!r}")
+            guard = self._inflight.get(partition_id)
+            if guard is None:
+                guard = self._inflight.setdefault(
+                    partition_id, threading.Lock()
+                )
+        if self.cache_bytes:
+            cached = self._cached_read(partition_id)
+            if cached is not None:
+                return cached
+        with guard:
             if self.cache_bytes:
-                cached = self._cache.get(partition_id)
+                # Re-probe: a reader that held the guard while we waited
+                # may have opened and cached this partition already.
+                cached = self._cached_read(partition_id)
                 if cached is not None:
-                    # Logical accounting is cache-independent: the paper's
-                    # access-volume metrics charge every partition touch.
-                    self._c_bytes_read.inc(self._sizes[partition_id])
-                    self._c_partitions_read.inc()
-                    self._c_cache_hits.inc()
-                    self._cache.move_to_end(partition_id)
                     return cached
             try:
                 part = self._open_with_retry(partition_id)
             except StorageError:
-                self._c_read_failures.inc()
+                with self._lock:
+                    self._c_read_failures.inc()
                 raise
-            self._c_bytes_read.inc(self._sizes[partition_id])
-            self._c_partitions_read.inc()
-            if self.cache_bytes:
-                self._c_cache_misses.inc()
-                self._cache_insert(partition_id, part)
+            with self._lock:
+                self._c_bytes_read.inc(self._sizes[partition_id])
+                self._c_partitions_read.inc()
+                if self.cache_bytes:
+                    self._c_cache_misses.inc()
+                    self._cache_insert(partition_id, part)
             return part
 
+    def _cached_read(self, partition_id: str) -> PartitionHandle | None:
+        """Serve one read from the cache, or return ``None`` on a miss.
+
+        On a hit the logical counters and the hit tally are charged and
+        the LRU entry refreshed — all under the narrow lock, atomically
+        with respect to the :attr:`counters` snapshot.  The miss tally is
+        *not* charged here: only the reader that actually opens the
+        partition charges a miss, so ``cache_hits + cache_misses`` equals
+        ``partitions_read`` exactly under any interleaving.
+        """
+        with self._lock:
+            cached = self._cache.get(partition_id)
+            if cached is None:
+                return None
+            # Logical accounting is cache-independent: the paper's
+            # access-volume metrics charge every partition touch.
+            self._c_bytes_read.inc(self._sizes[partition_id])
+            self._c_partitions_read.inc()
+            self._c_cache_hits.inc()
+            self._cache.move_to_end(partition_id)
+            return cached
+
     def _open_with_retry(self, partition_id: str) -> PartitionHandle:
-        """Open one partition under the retry policy (caller holds lock)."""
+        """Open one partition under the retry policy.
+
+        The caller holds the partition's single-flight guard but **not**
+        the narrow DFS lock: backoff and injected straggler sleeps here
+        block only same-partition readers.  Counter bumps re-acquire the
+        narrow lock so the :attr:`counters` snapshot stays mutually
+        consistent.
+        """
         if self._object_store():
             # Live PartitionFile objects: no physical read to fail.
             return self._partitions[partition_id]
@@ -467,7 +523,8 @@ class SimulatedDFS:
                 delay = policy.backoff_delay(name, attempt)
                 if delay > 0:
                     time.sleep(delay)
-                self._c_retries.inc()
+                with self._lock:
+                    self._c_retries.inc()
             if injector is not None:
                 injector.begin_attempt(name)
             t_attempt = time.perf_counter()

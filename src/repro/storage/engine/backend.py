@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import mmap
 import os
+import threading
 from collections import OrderedDict
 from pathlib import Path
 from typing import Iterator, Protocol, runtime_checkable
@@ -118,6 +119,13 @@ class LocalDiskBackend:
     the cache and reclaimed when the last view dies.  Overwrites go
     through an atomic rename, so views over a replaced blob keep reading
     the old inode instead of faulting.
+
+    The handle LRU is guarded by an internal lock: the DFS read path
+    opens partitions concurrently (its own lock covers only bookkeeping),
+    and lazy v2 views issue range reads long after the open, so the map
+    mutations here must be safe under concurrent readers.  Views are
+    sliced while the lock is held, so an eviction racing a read can never
+    close a mapping between lookup and export.
     """
 
     def __init__(self, root: str | Path, max_open_handles: int = 256) -> None:
@@ -127,6 +135,7 @@ class LocalDiskBackend:
         self.root.mkdir(parents=True, exist_ok=True)
         self.max_open_handles = max_open_handles
         self._maps: "OrderedDict[str, mmap.mmap]" = OrderedDict()
+        self._maps_lock = threading.Lock()
 
     def _path(self, name: str) -> Path:
         if not name or "/" in name or "\\" in name or name.startswith("."):
@@ -142,7 +151,8 @@ class LocalDiskBackend:
         tmp.write_bytes(data)
         os.replace(tmp, path)
 
-    def _map(self, name: str) -> mmap.mmap:
+    def _map_locked(self, name: str) -> mmap.mmap:
+        # Caller holds self._maps_lock.
         handle = self._maps.get(name)
         if handle is None:
             path = self._path(name)
@@ -155,20 +165,22 @@ class LocalDiskBackend:
                 raise StorageError(f"cannot map empty object {name!r}")
             self._maps[name] = handle
             while len(self._maps) > self.max_open_handles:
-                self._drop_handle(next(iter(self._maps)))
+                self._drop_handle_locked(next(iter(self._maps)))
         else:
             self._maps.move_to_end(name)
         return handle
 
     def read_range(self, name: str, offset: int, length: int) -> memoryview:
-        handle = self._map(name)
-        _check_range(name, offset, length, len(handle))
-        return memoryview(handle)[offset:offset + length]
+        with self._maps_lock:
+            handle = self._map_locked(name)
+            _check_range(name, offset, length, len(handle))
+            return memoryview(handle)[offset:offset + length]
 
     def size(self, name: str) -> int:
-        handle = self._maps.get(name)
-        if handle is not None:
-            return len(handle)
+        with self._maps_lock:
+            handle = self._maps.get(name)
+            if handle is not None:
+                return len(handle)
         path = self._path(name)
         try:
             return os.stat(path).st_size
@@ -190,6 +202,10 @@ class LocalDiskBackend:
         return sorted(p.name for p in self.root.iterdir() if p.is_file())
 
     def _drop_handle(self, name: str) -> None:
+        with self._maps_lock:
+            self._drop_handle_locked(name)
+
+    def _drop_handle_locked(self, name: str) -> None:
         handle = self._maps.pop(name, None)
         if handle is not None:
             try:
@@ -198,8 +214,9 @@ class LocalDiskBackend:
                 pass  # live views keep the mapping alive; GC reclaims it
 
     def close(self) -> None:
-        for name in list(self._maps):
-            self._drop_handle(name)
+        with self._maps_lock:
+            for name in list(self._maps):
+                self._drop_handle_locked(name)
 
     def _iter_handles(self) -> Iterator[mmap.mmap]:  # for tests
         return iter(self._maps.values())

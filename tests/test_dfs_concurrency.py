@@ -1,0 +1,224 @@
+"""The narrowed DFS lock: overlap, single-flight, and schedule determinism.
+
+PR-8 left straggler and retry-backoff sleeps under the one coarse DFS
+lock, so concurrent readers convoyed: N threads hitting N distinct slow
+partitions paid the *sum* of the injected delays.  The narrowed lock
+(this PR) keeps only metadata/cache/counter mutations under the global
+lock and runs backend opens + sleeps under per-partition single-flight
+guards.  Pinned here:
+
+* reads of *distinct* straggler-injected partitions overlap — wall clock
+  well under the sum of injected delays;
+* retry-backoff sleeps of distinct partitions overlap the same way;
+* reads of the *same* partition stay serialised (single-flight), so the
+  fault injector's per-name attempt schedule — and with it every
+  seeded-chaos test in the repo — is exactly as deterministic as under
+  the coarse lock;
+* the logical counters stay arithmetically exact throughout.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+
+from repro.exceptions import TransientReadError
+from repro.resilience import FaultPlan, RetryPolicy
+from repro.storage import PartitionFile, SimulatedDFS
+
+
+def make_partition(pid, n_clusters=2, per_cluster=4, length=8, seed=0):
+    rng = np.random.default_rng(seed)
+    clusters = {}
+    next_id = 0
+    for c in range(n_clusters):
+        ids = np.arange(next_id, next_id + per_cluster)
+        next_id += per_cluster
+        clusters[f"g0/{c}"] = (ids, rng.normal(size=(per_cluster, length)))
+    return PartitionFile.from_clusters(pid, clusters)
+
+
+def _run_threads(fns):
+    """Run one thread per fn behind a barrier; return (wall_s, errors)."""
+    barrier = threading.Barrier(len(fns) + 1)
+    errors = []
+
+    def wrap(fn):
+        barrier.wait()
+        try:
+            fn()
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [threading.Thread(target=wrap, args=(fn,)) for fn in fns]
+    for t in threads:
+        t.start()
+    barrier.wait()
+    t0 = time.perf_counter()
+    for t in threads:
+        t.join(timeout=60)
+    return time.perf_counter() - t0, errors
+
+
+class TestStragglerOverlap:
+    def test_distinct_partition_stragglers_overlap(self):
+        # Every attempt's first read sleeps straggler_delay_s.  Two
+        # threads on two distinct partitions used to serialise on the
+        # coarse lock (wall ~ sum of delays); with the narrowed lock the
+        # sleeps overlap (wall ~ one delay).
+        delay = 0.2
+        plan = FaultPlan(seed=1, straggler_rate=1.0, straggler_delay_s=delay)
+        dfs = SimulatedDFS(fault_plan=plan)
+        for i in range(2):
+            dfs.write_partition(make_partition(f"p{i}", seed=i))
+
+        wall, errors = _run_threads([
+            lambda pid=f"p{i}": dfs.read_partition(pid) for i in range(2)
+        ])
+        assert not errors
+        total_injected = 2 * delay
+        assert wall < 0.6 * total_injected, (
+            f"straggler sleeps serialised: wall {wall:.3f}s vs "
+            f"{total_injected:.3f}s injected"
+        )
+        c = dfs.counters
+        assert c.partitions_read == 2
+        assert c.retries == 0
+
+    def test_retry_backoff_overlaps_across_partitions(self):
+        # transient_rate=1.0 makes every attempt fail: each read sleeps
+        # the full deterministic backoff schedule, then raises.  Distinct
+        # partitions must serve their backoffs concurrently.
+        policy = RetryPolicy(max_attempts=3, backoff_base_s=0.1, jitter=0.5,
+                             seed=7)
+        plan = FaultPlan(seed=3, transient_rate=1.0)
+        dfs = SimulatedDFS(fault_plan=plan, retry_policy=policy)
+        for i in range(2):
+            dfs.write_partition(make_partition(f"p{i}", seed=i))
+
+        raised = []
+
+        def read(pid):
+            try:
+                dfs.read_partition(pid)
+            except TransientReadError:
+                raised.append(pid)
+
+        wall, errors = _run_threads([
+            lambda pid=f"p{i}": read(pid) for i in range(2)
+        ])
+        assert not errors
+        assert sorted(raised) == ["p0", "p1"]
+        # The injected sleep per partition is exactly the deterministic
+        # backoff schedule; the two must overlap, not add up.
+        per_name = [
+            sum(policy.backoff_delay(dfs.engine.blob_name(f"p{i}"), a)
+                for a in (1, 2))
+            for i in range(2)
+        ]
+        assert wall < 0.6 * sum(per_name), (
+            f"backoff sleeps serialised: wall {wall:.3f}s vs "
+            f"{sum(per_name):.3f}s injected"
+        )
+        c = dfs.counters
+        assert c.retries == 4          # 2 retries per failed read
+        assert c.read_failures == 2
+        assert c.partitions_read == 0  # only successful reads charge
+
+
+class TestSingleFlight:
+    def test_same_partition_reads_serialise_and_share_cache(self):
+        # Single-flight per partition id: with the cache on, a storm of
+        # same-partition readers produces exactly one physical open (one
+        # miss, one straggler sleep) and N-1 hits — deterministically,
+        # because waiters re-probe the cache after the guard.
+        delay = 0.15
+        plan = FaultPlan(seed=2, straggler_rate=1.0, straggler_delay_s=delay)
+        dfs = SimulatedDFS(fault_plan=plan, cache_bytes=1 << 20)
+        dfs.write_partition(make_partition("p0"))
+
+        n = 6
+        wall, errors = _run_threads(
+            [lambda: dfs.read_partition("p0")] * n
+        )
+        assert not errors
+        c = dfs.counters
+        assert c.partitions_read == n
+        assert c.cache_misses == 1
+        assert c.cache_hits == n - 1
+        # One open, one straggler sleep — not N.
+        assert wall < 2.5 * delay
+        assert dfs.fault_injector.attempts(dfs.engine.blob_name("p0")) == 1
+
+
+class TestScheduleDeterminism:
+    def _workload(self, seed):
+        plan = FaultPlan(seed=seed, transient_rate=0.35)
+        dfs = SimulatedDFS(
+            fault_plan=plan,
+            retry_policy=RetryPolicy(max_attempts=2, backoff_base_s=0.0),
+        )
+        n_parts, reads_each = 6, 5
+        for i in range(n_parts):
+            dfs.write_partition(make_partition(f"p{i}", seed=i))
+
+        outcomes: dict[str, list[bool]] = {f"p{i}": [] for i in range(n_parts)}
+
+        def reader(pid):
+            for _ in range(reads_each):
+                try:
+                    dfs.read_partition(pid)
+                    outcomes[pid].append(True)
+                except TransientReadError:
+                    outcomes[pid].append(False)
+
+        wall, errors = _run_threads([
+            lambda pid=f"p{i}": reader(pid) for i in range(n_parts)
+        ])
+        assert not errors
+        c = dfs.counters
+        return outcomes, (c.retries, c.read_failures, c.partitions_read)
+
+    def test_same_seed_same_schedule_under_concurrency(self):
+        # Per-name attempt schedules are serialised by the single-flight
+        # guard, so a concurrent run is a pure function of the seed: the
+        # exact per-read outcome sequence of every partition — and every
+        # resilience counter — repeats across runs.
+        first_outcomes, first_counters = self._workload(seed=11)
+        second_outcomes, second_counters = self._workload(seed=11)
+        assert first_outcomes == second_outcomes
+        assert first_counters == second_counters
+        # The schedule actually exercised both branches somewhere.
+        flat = [o for seq in first_outcomes.values() for o in seq]
+        assert any(flat) and not all(flat)
+
+    def test_concurrent_schedule_matches_serial(self):
+        # The same workload issued serially (one thread, same per-name
+        # read order) sees the identical outcome schedule: concurrency
+        # affects only interleaving across names, never the per-name
+        # attempt sequence the fault plan keys on.
+        concurrent_outcomes, concurrent_counters = self._workload(seed=11)
+
+        plan = FaultPlan(seed=11, transient_rate=0.35)
+        dfs = SimulatedDFS(
+            fault_plan=plan,
+            retry_policy=RetryPolicy(max_attempts=2, backoff_base_s=0.0),
+        )
+        for i in range(6):
+            dfs.write_partition(make_partition(f"p{i}", seed=i))
+        serial: dict[str, list[bool]] = {}
+        for i in range(6):
+            pid = f"p{i}"
+            serial[pid] = []
+            for _ in range(5):
+                try:
+                    dfs.read_partition(pid)
+                    serial[pid].append(True)
+                except TransientReadError:
+                    serial[pid].append(False)
+        assert serial == concurrent_outcomes
+        c = dfs.counters
+        assert (c.retries, c.read_failures,
+                c.partitions_read) == concurrent_counters

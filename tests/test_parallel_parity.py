@@ -188,6 +188,47 @@ class TestBuildParity:
             reference.dfs
         )
 
+    def test_process_executor_encodes_without_fallback(self):
+        # Regression (PR-6 remaining item): redistribution encodes used to
+        # fall back to serial on process pools because the encode task
+        # closed over live engine handles.  The encode spec is plain data
+        # now, so a v2 process build must not record any fallback — the
+        # only pooled stage that still degrades is the shared-memory trie
+        # compile, which warns through make_executor, not the builder.
+        import warnings
+
+        from repro.obs import global_registry
+
+        dataset = _dataset(n=1500)
+        before = global_registry().counter("parallel.fallbacks").value
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            art = build_index_artifacts(
+                dataset, _config(2, executor="process")
+            )
+        assert global_registry().counter("parallel.fallbacks").value == before
+        assert _partition_payloads(art.dfs) == _partition_payloads(
+            build_index_artifacts(dataset, _config(1)).dfs
+        )
+
+    def test_encode_partition_task_matches_engine_encode(self):
+        # The picklable spec path and the live-engine path must produce
+        # identical payload bytes for both formats.
+        from repro.core.builder import _encode_partition_task
+        from repro.storage.engine import MemoryBackend, StorageEngine
+
+        rng = np.random.default_rng(7)
+        ids = np.arange(40, dtype=np.int64)
+        values = rng.standard_normal((40, 16))
+        header = {"g0/a": (0, 25), "g0/b": (25, 15)}
+        for fmt in ("v2", "v1"):
+            engine = StorageEngine(MemoryBackend(), partition_format=fmt)
+            expected = engine.encode_arrays("part-x", ids, values, header)
+            got = _encode_partition_task(
+                ("part-x", ids, values, header, fmt, engine.checksums)
+            )
+            assert got == expected
+
     def test_build_v1_object_store_parity(self):
         # The v1 in-memory object store has no encoded-write path; the
         # redistribution falls back to the serial write loop but must stay

@@ -1,0 +1,414 @@
+"""Serving-layer tests: parity, admission control, drain, and chaos.
+
+The contract under test (see :mod:`repro.serve.service`): micro-batching
+is *transparent* — a served answer is byte-identical to the same query
+issued directly against an identically built index, including the
+degraded-coverage stats and the logical DFS counters — while admission
+control sheds or backpressures load deterministically.
+
+Every oracle here is a *second, identically built* index queried
+serially in the service's processing order, the same two-build pattern
+the chaos suite uses, so the comparison is bit-exact rather than
+statistical.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.core import ClimberIndex
+from repro.core.config import ON_PARTITION_FAILURE_ENV, ClimberConfig
+from repro.exceptions import (
+    ConfigurationError,
+    ServiceClosedError,
+    ServiceOverloadedError,
+)
+from repro.obs import MetricsRegistry
+from repro.resilience import (
+    FAULT_ENV_BITFLIP_RATE,
+    FAULT_ENV_LOSS_RATE,
+    FAULT_ENV_RATE,
+    FAULT_ENV_SEED,
+    FAULT_ENV_STRAGGLER_RATE,
+    FaultPlan,
+    RetryPolicy,
+)
+from repro.serve import QueryResponse, QueryService, ServeConfig
+from repro.series import SeriesDataset
+
+#: Parity oracles compare explicit builds, so ambient CI chaos
+#: (CLIMBER_FAULT_* exported over the whole tier-1 run) is scrubbed, as
+#: in tests/test_chaos.py.
+CHAOS_ENV = (
+    FAULT_ENV_SEED, FAULT_ENV_RATE, FAULT_ENV_LOSS_RATE,
+    FAULT_ENV_BITFLIP_RATE, FAULT_ENV_STRAGGLER_RATE,
+    ON_PARTITION_FAILURE_ENV,
+)
+
+
+@pytest.fixture(autouse=True)
+def _scrub_chaos_env(monkeypatch):
+    for var in CHAOS_ENV:
+        monkeypatch.delenv(var, raising=False)
+
+
+@pytest.fixture(scope="class", autouse=True)
+def _scrub_chaos_env_for_class_fixtures():
+    with pytest.MonkeyPatch.context() as mp:
+        for var in CHAOS_ENV:
+            mp.delenv(var, raising=False)
+        yield
+
+
+def _dataset(n=800, length=32, seed=17):
+    rng = np.random.default_rng(seed)
+    return SeriesDataset(rng.standard_normal((n, length)))
+
+
+def _config(**overrides):
+    base = dict(
+        word_length=8,
+        n_pivots=16,
+        prefix_length=4,
+        capacity=64,
+        sample_fraction=0.5,
+        seed=5,
+        n_input_partitions=4,
+    )
+    base.update(overrides)
+    return ClimberConfig(**base)
+
+
+def _queries(n=16, length=32, seed=23):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((n, length))
+
+
+def _dfs_counter_state(index):
+    c = index.dfs.counters
+    return (c.bytes_read, c.partitions_read, c.retries, c.read_failures)
+
+
+def _assert_response_matches(resp: QueryResponse, ref) -> None:
+    assert np.array_equal(resp.ids, ref.ids)
+    assert np.array_equal(resp.distances, ref.distances)
+    assert resp.stats.partitions_failed == ref.stats.partitions_failed
+    assert resp.coverage == ref.stats.coverage
+    assert resp.degraded == ref.stats.degraded
+    assert resp.latency_s >= resp.queue_delay_s >= 0.0
+    assert resp.batch_size >= 1
+
+
+class TestServingParity:
+    """Byte-identical answers and counters vs a serially queried twin."""
+
+    @pytest.fixture(scope="class")
+    def pair(self):
+        dataset = _dataset()
+        served = ClimberIndex.build(dataset, _config())
+        oracle = ClimberIndex.build(dataset, _config())
+        return served, oracle
+
+    def test_concurrent_serving_matches_serial_oracle(self, pair):
+        served, oracle = pair
+        queries = _queries(16)
+        before = _dfs_counter_state(served)
+        assert before == _dfs_counter_state(oracle)
+
+        async def drive():
+            service = QueryService(
+                served,
+                ServeConfig(max_batch=8, max_delay_s=0.05),
+                registry=MetricsRegistry(),
+            )
+            async with service:
+                responses = await asyncio.gather(
+                    *[service.submit(q, k=5) for q in queries]
+                )
+            return responses, service.stats()
+
+        responses, stats = asyncio.run(drive())
+        # Serial oracle in submission order: the service batches FIFO and
+        # all requests share one argument key, so processing order — and
+        # with it the tie-break RNG stream — is the submission order.
+        references = [oracle.knn(q, k=5) for q in queries]
+        for resp, ref in zip(responses, references):
+            _assert_response_matches(resp, ref)
+            assert resp.coverage == 1.0
+            assert not resp.degraded
+        # Micro-batching actually happened and was transparent.
+        assert any(r.batch_size > 1 for r in responses)
+        counters = stats["metrics"]["counters"]
+        assert counters["serve.requests"] == 16
+        assert counters["serve.responses"] == 16
+        assert counters["serve.rejected"] == 0
+        assert counters["serve.failures"] == 0
+        assert counters["serve.degraded"] == 0
+        # Logical storage counters advance in lockstep with the serial
+        # twin: batching changes scheduling, never the work charged.
+        assert _dfs_counter_state(served) == _dfs_counter_state(oracle)
+
+    def test_mixed_k_groups_split_correctly(self, pair):
+        served, oracle = pair
+        queries = _queries(12, seed=31)
+        ks = [3 if i % 2 == 0 else 7 for i in range(len(queries))]
+
+        async def drive():
+            # One big batch window so all 12 requests coalesce into a
+            # single dispatch with two key groups (k=3 rows first, then
+            # k=7 — insertion order of first occurrence).
+            service = QueryService(
+                served,
+                ServeConfig(max_batch=64, max_delay_s=0.05),
+                registry=MetricsRegistry(),
+            )
+            async with service:
+                return await asyncio.gather(*[
+                    service.submit(q, k=k) for q, k in zip(queries, ks)
+                ])
+
+        responses = asyncio.run(drive())
+        # Oracle in the service's group processing order: all k=3 rows in
+        # submission order, then all k=7 rows.
+        references: dict[int, object] = {}
+        for wanted_k in (3, 7):
+            for i, (q, k) in enumerate(zip(queries, ks)):
+                if k == wanted_k:
+                    references[i] = oracle.knn(q, k=k)
+        for i, resp in enumerate(responses):
+            assert len(resp.ids) == min(ks[i], len(resp.ids))
+            _assert_response_matches(resp, references[i])
+        assert _dfs_counter_state(served) == _dfs_counter_state(oracle)
+
+
+class TestAdmissionControl:
+    @pytest.fixture(scope="class")
+    def index(self):
+        return ClimberIndex.build(_dataset(), _config())
+
+    def test_reject_mode_sheds_load(self, index):
+        queries = _queries(12)
+
+        async def drive():
+            service = QueryService(
+                index,
+                ServeConfig(max_batch=4, max_delay_s=0.01, queue_limit=4,
+                            admission="reject"),
+                registry=MetricsRegistry(),
+            )
+            async with service:
+                results = await asyncio.gather(
+                    *[service.submit(q, k=5) for q in queries],
+                    return_exceptions=True,
+                )
+            return results, service.stats()
+
+        results, stats = asyncio.run(drive())
+        ok = [r for r in results if isinstance(r, QueryResponse)]
+        shed = [r for r in results if isinstance(r, ServiceOverloadedError)]
+        assert len(ok) + len(shed) == len(queries)
+        # All 12 submits run before the batcher first drains (they have
+        # no awaits before enqueueing), so exactly queue_limit are
+        # admitted and the rest shed — deterministically.
+        assert len(ok) == 4
+        assert len(shed) == 8
+        counters = stats["metrics"]["counters"]
+        assert counters["serve.requests"] == 12
+        assert counters["serve.rejected"] == 8
+        assert counters["serve.responses"] == 4
+
+    def test_block_mode_backpressures_instead(self, index):
+        queries = _queries(10)
+
+        async def drive():
+            service = QueryService(
+                index,
+                ServeConfig(max_batch=4, max_delay_s=0.0, queue_limit=2,
+                            admission="block"),
+                registry=MetricsRegistry(),
+            )
+            async with service:
+                responses = await asyncio.gather(
+                    *[service.submit(q, k=5) for q in queries]
+                )
+            return responses, service.stats()
+
+        responses, stats = asyncio.run(drive())
+        assert len(responses) == len(queries)
+        counters = stats["metrics"]["counters"]
+        assert counters["serve.rejected"] == 0
+        assert counters["serve.responses"] == len(queries)
+
+
+class TestLifecycle:
+    @pytest.fixture(scope="class")
+    def index(self):
+        return ClimberIndex.build(_dataset(), _config())
+
+    def test_submit_before_start_and_after_stop_raises(self, index):
+        async def drive():
+            service = QueryService(index, registry=MetricsRegistry())
+            with pytest.raises(ServiceClosedError):
+                await service.submit(_queries(1)[0], k=3)
+            async with service:
+                pass
+            with pytest.raises(ServiceClosedError):
+                await service.submit(_queries(1)[0], k=3)
+
+        asyncio.run(drive())
+
+    def test_double_start_rejected(self, index):
+        async def drive():
+            service = QueryService(index, registry=MetricsRegistry())
+            await service.start()
+            try:
+                with pytest.raises(ConfigurationError):
+                    await service.start()
+            finally:
+                await service.stop()
+
+        asyncio.run(drive())
+
+    def test_stop_with_drain_answers_everything(self, index):
+        queries = _queries(6)
+
+        async def drive():
+            service = QueryService(
+                index,
+                ServeConfig(max_batch=4, max_delay_s=0.05),
+                registry=MetricsRegistry(),
+            )
+            await service.start()
+            tasks = [
+                asyncio.ensure_future(service.submit(q, k=5))
+                for q in queries
+            ]
+            await asyncio.sleep(0)  # enqueue all before stopping
+            await service.stop(drain=True)
+            return await asyncio.gather(*tasks)
+
+        responses = asyncio.run(drive())
+        assert len(responses) == len(queries)
+        assert all(isinstance(r, QueryResponse) for r in responses)
+
+    def test_stop_without_drain_fails_pending(self, index):
+        queries = _queries(6)
+
+        async def drive():
+            service = QueryService(
+                index,
+                ServeConfig(max_batch=4, max_delay_s=0.05),
+                registry=MetricsRegistry(),
+            )
+            await service.start()
+            tasks = [
+                asyncio.ensure_future(service.submit(q, k=5))
+                for q in queries
+            ]
+            # One loop pass: every submit has enqueued, but the batcher
+            # has not yet resumed to collect a batch.
+            await asyncio.sleep(0)
+            await service.stop(drain=False)
+            return await asyncio.gather(*tasks, return_exceptions=True)
+
+        results = asyncio.run(drive())
+        assert len(results) == len(queries)
+        assert all(isinstance(r, ServiceClosedError) for r in results)
+
+    def test_config_validation(self, index):
+        with pytest.raises(ConfigurationError):
+            ServeConfig(max_batch=0)
+        with pytest.raises(ConfigurationError):
+            ServeConfig(queue_limit=0)
+        with pytest.raises(ConfigurationError):
+            ServeConfig(admission="drop")
+        with pytest.raises(ConfigurationError):
+            ServeConfig(worker_threads=0)
+        with pytest.raises(ConfigurationError):
+            ServeConfig(max_delay_s=-1.0)
+
+    def test_stats_shape(self, index):
+        service = QueryService(index, registry=MetricsRegistry())
+        stats = service.stats()
+        assert stats["running"] is False
+        assert stats["config"]["admission"] == "reject"
+        assert "counters" in stats["metrics"]
+        assert all(
+            name.startswith("serve.")
+            for metrics in stats["metrics"].values()
+            for name in metrics
+        )
+
+
+class TestServingUnderChaos:
+    """Satellite 4: degraded responses under seeded loss match the oracle.
+
+    Loss faults are *per blob* (attempt-independent), so the degradation
+    pattern is a pure function of the seed — concurrency in the service
+    cannot shift it.  Per-response ``coverage``/``degraded``/
+    ``partitions_failed`` must therefore match a serially queried,
+    identically built (and identically lossy) twin exactly.
+    """
+
+    @pytest.fixture(scope="class")
+    def lossy_pair(self):
+        dataset = _dataset(n=2000, length=64)
+        plan = FaultPlan(seed=1234, loss_rate=0.3)
+        kwargs = dict(
+            fault_plan=plan,
+            retry_policy=RetryPolicy(max_attempts=2, backoff_base_s=0.0),
+            n_input_partitions=8,
+        )
+        served = ClimberIndex.build(dataset, _config(**kwargs))
+        oracle = ClimberIndex.build(dataset, _config(**kwargs))
+        lost = [
+            p for p in served.dfs.list_partitions()
+            if plan.lost(served.dfs.engine.blob_name(p))
+        ]
+        assert lost, "seed must lose at least one partition"
+        return served, oracle, lost
+
+    def test_degraded_serving_matches_serial_oracle(self, lossy_pair):
+        served, oracle, lost = lossy_pair
+        queries = _queries(24, length=64, seed=29)
+
+        async def drive():
+            # worker_threads=1 serialises dispatch execution, pinning the
+            # tie-break RNG stream to the oracle's processing order; >1 is
+            # exercised by the load bench, where no parity is asserted.
+            service = QueryService(
+                served,
+                ServeConfig(max_batch=8, max_delay_s=0.05, worker_threads=1),
+                registry=MetricsRegistry(),
+            )
+            async with service:
+                responses = await asyncio.gather(*[
+                    service.submit(q, k=5, on_partition_failure="skip")
+                    for q in queries
+                ])
+            return responses, service.stats()
+
+        responses, stats = asyncio.run(drive())
+        references = [
+            oracle.knn(q, k=5, on_partition_failure="skip") for q in queries
+        ]
+        degraded = 0
+        for resp, ref in zip(responses, references):
+            _assert_response_matches(resp, ref)
+            if resp.degraded:
+                degraded += 1
+                assert 0.0 <= resp.coverage < 1.0
+                assert set(resp.stats.partitions_failed) <= set(lost)
+            else:
+                assert resp.coverage == 1.0
+        assert degraded >= 1, "some served query must touch a lost partition"
+        counters = stats["metrics"]["counters"]
+        assert counters["serve.degraded"] == degraded
+        assert counters["serve.responses"] == len(queries)
+        assert counters["serve.failures"] == 0
+        # Storage-level accounting is in lockstep too: same lost blobs,
+        # same skips, same logical charges.
+        assert _dfs_counter_state(served) == _dfs_counter_state(oracle)

@@ -8,6 +8,8 @@ work changes, tracked by ``cache_hits`` / ``cache_misses``.
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 import pytest
 
@@ -274,6 +276,69 @@ class TestCacheThreadSafety:
         assert c.cache_misses >= 1
         # Accounting invariant: used bytes equal the sum of cached
         # partition sizes and respect the budget.
+        assert dfs.cache_used_bytes == sum(
+            dfs.partition_nbytes(pid) for pid in dfs._cache
+        )
+        assert dfs.cache_used_bytes <= dfs.cache_bytes
+
+    def test_concurrent_mixed_hit_miss_straggler_hammer(self):
+        # Same storm, harder workload: half the partitions are hot (hits),
+        # the cache churns on the cold tail (misses + evictions), and a
+        # seeded straggler plan injects sleeps on physical opens — sleeps
+        # that now happen *outside* the narrow lock, so the hammer also
+        # exercises cache probes racing in-flight opens.  Every total must
+        # still be arithmetically exact.
+        from repro.resilience import FaultPlan
+
+        parts = [make_partition(f"p{i}", seed=i) for i in range(12)]
+        plan = FaultPlan(seed=29, straggler_rate=0.5, straggler_delay_s=0.001)
+        dfs = SimulatedDFS(cache_bytes=3 * parts[0].nbytes + 1,
+                           partition_format="v2", fault_plan=plan)
+        for part in parts:
+            dfs.write_partition(part)
+
+        n_threads, reads_each = 8, 150
+        errors = []
+        barrier = threading.Barrier(n_threads)
+
+        def reader(seed):
+            rng = np.random.default_rng(seed)
+            barrier.wait()
+            try:
+                for i in range(reads_each):
+                    # Hot set p0-p2 on even steps, uniform otherwise.
+                    if i % 2 == 0:
+                        pid = f"p{rng.integers(0, 3)}"
+                    else:
+                        pid = f"p{rng.integers(0, len(parts))}"
+                    handle = dfs.read_partition(pid)
+                    assert handle.record_count == parts[0].record_count
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=reader, args=(seed,))
+            for seed in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        assert not errors
+        total = n_threads * reads_each
+        c = dfs.counters
+        # Exact logical totals, independent of hits, evictions, or the
+        # injected straggler sleeps.
+        assert c.partitions_read == total
+        assert c.bytes_read == total * dfs.partition_nbytes("p0")
+        assert c.cache_hits + c.cache_misses == total
+        # The workload genuinely mixed hits and misses (hot set is far
+        # smaller than the budget; cold tail is far larger).
+        assert c.cache_hits > 0
+        assert c.cache_misses > len(parts)
+        # Stragglers delay but never fail: no retries, no failures.
+        assert c.retries == 0
+        assert c.read_failures == 0
         assert dfs.cache_used_bytes == sum(
             dfs.partition_nbytes(pid) for pid in dfs._cache
         )
