@@ -55,6 +55,8 @@ __all__ = [
     "ClimberConfig",
     "ClimberIndex",
     "QueryResult",
+    "ProgressiveUpdate",
+    "ProgressiveCalibration",
     "QueryService",
     "QueryResponse",
     "ServeConfig",
@@ -75,7 +77,8 @@ def __getattr__(name):
     Importing :mod:`repro` stays cheap; heavyweight submodules load on
     first attribute access.
     """
-    if name in ("ClimberConfig", "ClimberIndex", "QueryResult"):
+    if name in ("ClimberConfig", "ClimberIndex", "QueryResult",
+                "ProgressiveUpdate", "ProgressiveCalibration"):
         from repro import core
 
         return getattr(core, name)

@@ -16,6 +16,13 @@ from repro.core.centroids import (
 from repro.core.config import PAPER_DEFAULTS, ClimberConfig
 from repro.core.index import ClimberIndex, GroupCandidate, QueryResult, QueryStats
 from repro.core.packing import first_fit, first_fit_decreasing, one_per_bin
+from repro.core.progressive import (
+    ProgressiveCalibration,
+    ProgressiveUpdate,
+    StopRule,
+    parse_early_stop,
+    resolve_stop_rule,
+)
 from repro.core.skeleton import (
     GroupEntry,
     IndexSkeleton,
@@ -33,6 +40,11 @@ __all__ = [
     "QueryResult",
     "QueryStats",
     "GroupCandidate",
+    "ProgressiveCalibration",
+    "ProgressiveUpdate",
+    "StopRule",
+    "parse_early_stop",
+    "resolve_stop_rule",
     "GroupAssigner",
     "AssignmentResult",
     "compute_centroids",

@@ -11,16 +11,28 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass
 
+from repro.core.progressive import parse_early_stop
 from repro.exceptions import ConfigurationError
 from repro.pivots.distances import DecayKind
 from repro.resilience import FaultPlan, RetryPolicy
 
-__all__ = ["ClimberConfig", "PAPER_DEFAULTS", "ON_PARTITION_FAILURE_ENV"]
+__all__ = [
+    "ClimberConfig",
+    "PAPER_DEFAULTS",
+    "ON_PARTITION_FAILURE_ENV",
+    "EARLY_STOP_ENV",
+]
 
 #: Environment fallback for ``ClimberConfig.on_partition_failure`` — lets
 #: the CI chaos smoke run the whole suite in degraded-query mode without
 #: touching call sites.
 ON_PARTITION_FAILURE_ENV = "CLIMBER_ON_PARTITION_FAILURE"
+
+#: Environment fallback for ``ClimberConfig.early_stop`` — lets CI arm
+#: the progressive stopping rule over a whole tier-1 run without touching
+#: call sites (only ``knn_progressive``/``knn_batch_progressive`` consult
+#: it; the exact ``knn``/``knn_batch`` paths never stop early).
+EARLY_STOP_ENV = "CLIMBER_EARLY_STOP"
 
 
 @dataclass(frozen=True)
@@ -144,6 +156,20 @@ class ClimberConfig:
         ``None`` (default) resolves through the
         ``CLIMBER_ON_PARTITION_FAILURE`` environment variable, else
         ``"raise"``.
+    early_stop:
+        Default stopping knob of the *progressive* query path
+        (``knn_progressive``/``knn_batch_progressive``; the exact
+        ``knn``/``knn_batch`` paths never stop early): ``"off"``,
+        ``"confidence"`` (calibrated streak at
+        :attr:`early_stop_confidence`), ``"confidence:0.95"`` or
+        ``"streak:3"`` — see :func:`repro.core.progressive.parse_early_stop`.
+        ``None`` (default) resolves through the ``CLIMBER_EARLY_STOP``
+        environment variable, else ``"off"``.
+    early_stop_confidence:
+        Confidence level used when :attr:`early_stop` resolves to plain
+        ``"confidence"`` (default 0.9): the calibrated fraction of
+        queries whose early answer must already equal the full-budget
+        answer.
     """
 
     word_length: int = 16
@@ -171,6 +197,8 @@ class ClimberConfig:
     fault_plan: FaultPlan | None = None
     retry_policy: RetryPolicy | None = None
     on_partition_failure: str | None = None
+    early_stop: str | None = None
+    early_stop_confidence: float = 0.9
 
     def __post_init__(self) -> None:
         if self.word_length < 1:
@@ -227,6 +255,13 @@ class ClimberConfig:
                 f"on_partition_failure must be 'raise' or 'skip', "
                 f"got {self.on_partition_failure!r}"
             )
+        if self.early_stop is not None:
+            parse_early_stop(self.early_stop)  # raises on a bad spec
+        if not 0.0 < self.early_stop_confidence < 1.0:
+            raise ConfigurationError(
+                f"early_stop_confidence must be in (0, 1), "
+                f"got {self.early_stop_confidence!r}"
+            )
 
     @property
     def effective_fault_plan(self) -> FaultPlan | None:
@@ -247,6 +282,17 @@ class ClimberConfig:
             raise ConfigurationError(
                 f"{ON_PARTITION_FAILURE_ENV}={raw!r} must be 'raise' or 'skip'"
             )
+        return raw
+
+    @property
+    def effective_early_stop(self) -> str:
+        """Resolved progressive stopping knob: explicit → env → ``"off"``."""
+        if self.early_stop is not None:
+            return self.early_stop
+        raw = os.environ.get(EARLY_STOP_ENV, "").strip()
+        if not raw:
+            return "off"
+        parse_early_stop(raw)  # raises on a bad env spec
         return raw
 
     @property

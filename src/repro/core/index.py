@@ -37,7 +37,9 @@ from __future__ import annotations
 
 import dataclasses
 import time
+from collections.abc import Iterator
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
@@ -54,6 +56,12 @@ from repro.core.assignment import GroupAssigner
 from repro.core.builder import BuildArtifacts, build_index_artifacts
 from repro.core.config import ClimberConfig
 from repro.core.parallel import SerialExecutor, make_executor, split_ranges
+from repro.core.progressive import (
+    ProgressiveCalibration,
+    ProgressiveUpdate,
+    StopRule,
+    resolve_stop_rule,
+)
 from repro.core.routing import GroupCandidate, RoutingTable
 from repro.core.routing import select_primary as _select_primary
 from repro.core.skeleton import (
@@ -78,11 +86,18 @@ from repro.pivots import decay_weights, permutation_prefixes, wd_tie_tolerance
 from repro.series import (
     SeriesDataset,
     knn_bruteforce,
+    knn_merge,
     paa_transform,
     series_nbytes,
 )
 
-__all__ = ["ClimberIndex", "QueryResult", "QueryStats", "GroupCandidate"]
+__all__ = [
+    "ClimberIndex",
+    "ProgressiveUpdate",
+    "QueryResult",
+    "QueryStats",
+    "GroupCandidate",
+]
 
 _QUERY_SHARD_ROWS = 8
 """Rows per ``knn_batch`` shard.  Fixed by row count — never by worker
@@ -112,6 +127,10 @@ class QueryStats:
     partitions_failed: tuple[str, ...] = ()
     """Partitions the query *wanted* but could not read — non-empty only
     under ``on_partition_failure="skip"`` with live storage faults."""
+    partitions_forgone: tuple[str, ...] = ()
+    """Planned partitions a *progressive* query deliberately never visited
+    because its early-stopping rule fired (always empty for ``knn``/
+    ``knn_batch`` and for progressive runs that reached full coverage)."""
 
     @property
     def n_partitions(self) -> int:
@@ -124,11 +143,40 @@ class QueryStats:
 
     @property
     def coverage(self) -> float:
-        """Fraction of wanted partitions actually read (1.0 = complete)."""
+        """Fraction of wanted partitions actually read (1.0 = complete).
+
+        A query that wanted nothing (its routed plan resolved to zero
+        physical partitions — possible for an empty index or when every
+        planned partition was never materialised) is complete by
+        definition: coverage is 1.0, never a zero-denominator error.
+        Forgone partitions (early stopping) do not count against
+        coverage — they were skipped by choice, not lost; see
+        :attr:`visit_coverage` for the dial that includes them.
+        """
         total = len(self.partitions_loaded) + len(self.partitions_failed)
         if total == 0:
             return 1.0
         return len(self.partitions_loaded) / total
+
+    @property
+    def visit_coverage(self) -> float:
+        """Fraction of the *planned* partitions actually visited.
+
+        Counts early-stop forgone partitions against the denominator, so
+        a progressive answer served at 40% of its plan reports 0.4 here
+        while :attr:`coverage` (failures only) may still be 1.0.  Defined
+        as 1.0 when the plan was empty.
+        """
+        total = (
+            len(self.partitions_loaded)
+            + len(self.partitions_failed)
+            + len(self.partitions_forgone)
+        )
+        if total == 0:
+            return 1.0
+        return (
+            len(self.partitions_loaded) + len(self.partitions_failed)
+        ) / total
 
 
 @dataclass(frozen=True)
@@ -153,6 +201,10 @@ class ClimberIndex:
             config.prefix_length, config.decay, config.decay_rate
         )
         self._routing = RoutingTable(artifacts.skeleton, self._weights)
+        #: Offline-calibrated early-stopping curve (progressive queries).
+        #: ``None`` until :meth:`attach_calibration` loads one; confidence
+        #: mode then falls back to the conservative built-in prior.
+        self.calibration: ProgressiveCalibration | None = None
         # Telemetry resolution: an explicit argument wins; else adopt the
         # build's telemetry (so build.* and query.* metrics share one
         # registry); else create one per index from config.telemetry —
@@ -571,6 +623,62 @@ class ClimberIndex:
                 return True
         return False
 
+    def _select_nodes(
+        self,
+        variant: str,
+        primary: GroupCandidate,
+        candidates: list[GroupCandidate],
+        k: int,
+        adaptive_factor: int | None,
+    ) -> list[tuple[GroupEntry, TrieNode]]:
+        """Stage 3: the per-variant trie-node selection.
+
+        Shared by :meth:`knn` and :meth:`knn_progressive` so both paths
+        plan from exactly the same node set (the progressive parity
+        oracle depends on it).
+        """
+        if variant == "od-smallest":
+            return [(c.entry, c.entry.trie) for c in candidates]
+        if variant == "adaptive":
+            factor = adaptive_factor or self.config.adaptive_factor
+            if primary.gn.count >= k:
+                return [(primary.entry, primary.gn)]
+            return self._expand_adaptive(primary, candidates, k, factor)
+        return [(primary.entry, primary.gn)]
+
+    def _plan_partition_reads(
+        self, selected: list[tuple[GroupEntry, TrieNode]]
+    ) -> dict[str, list[str]]:
+        """Partitions covering the selected nodes, with their target keys.
+
+        One batch ``covering_partitions`` call per involved group resolves
+        every selected subtree's partition set from the flat leaf tables.
+        Returns ``{base partition name: [cluster keys wanted]}``; readers
+        iterate it in sorted order — that iteration order *is* the routed
+        plan a progressive query streams through.
+        """
+        flat_tries = self._routing.flat.tries
+        by_group: dict[int, list[TrieNode]] = {}
+        for entry, node in selected:
+            by_group.setdefault(entry.group_id, []).append(node)
+        covering: dict[tuple[int, int], np.ndarray] = {}
+        for gid, group_nodes in by_group.items():
+            ft = flat_tries[gid]
+            nids = [ft.id_of(n) for n in group_nodes]
+            for node, pids in zip(group_nodes, ft.covering_partitions(nids)):
+                covering[(gid, id(node))] = pids
+        to_load: dict[str, list[str]] = {}
+        for entry, node in selected:
+            pids = set(
+                int(p) for p in covering[(entry.group_id, id(node))]
+            )
+            if not node.is_leaf or node.depth == 0:
+                pids.add(entry.default_partition)
+            keys = self._target_keys(entry, node)
+            for pid in sorted(pids):
+                to_load.setdefault(partition_name(pid), []).extend(keys)
+        return to_load
+
     # -- record-level search ------------------------------------------------------------
 
     def _target_keys(self, entry: GroupEntry, node: TrieNode) -> list[str]:
@@ -743,6 +851,15 @@ class ClimberIndex:
             raise ConfigurationError(
                 f"{len(probes)} probes for {arr.shape[0]} query rows"
             )
+        # Shared spans are split across *live* probes, not rows: under
+        # probe sampling the sampled-out rows carry no stage breakdown,
+        # and dividing by the row count would make the live probes'
+        # stage sums under-report the measured span (the invariant
+        # pinned in tests/test_obs.py).
+        live_probes = (
+            sum(1 for probe in probes if probe is not None)
+            if probes is not None else 0
+        )
         t0 = time.perf_counter()
         paa = paa_transform(arr, self.config.word_length)
         ranked = permutation_prefixes(
@@ -754,7 +871,7 @@ class ClimberIndex:
                 tel.registry.histogram("query.batch.signature_s").observe(sig_s)
             for probe in probes:
                 if probe is not None:
-                    probe.add_stage("signature", sig_s / arr.shape[0])
+                    probe.add_stage("signature", sig_s / live_probes)
         od_slack = 1 if variant == "adaptive" else 0
         # Identical signatures route identically, so the OD/WD matrices are
         # computed once per *distinct* signature and fanned back out.  Row
@@ -784,7 +901,7 @@ class ClimberIndex:
                 tel.registry.histogram("query.batch.route_s").observe(route_s)
             for probe in probes:
                 if probe is not None:
-                    probe.add_stage("route", route_s / arr.shape[0])
+                    probe.add_stage("route", route_s / live_probes)
         # The shared signature/routing span is amortised evenly over the
         # rows so per-query wall_seconds stay comparable to knn's.
         shared_share = (time.perf_counter() - t0) / arr.shape[0]
@@ -874,42 +991,10 @@ class ClimberIndex:
             ),
         )
 
-        if variant == "od-smallest":
-            selected = [
-                (c.entry, c.entry.trie) for c in candidates
-            ]
-        elif variant == "adaptive":
-            factor = adaptive_factor or cfg.adaptive_factor
-            if primary.gn.count >= k:
-                selected = [(primary.entry, primary.gn)]
-            else:
-                selected = self._expand_adaptive(primary, candidates, k, factor)
-        else:
-            selected = [(primary.entry, primary.gn)]
-
-        # Partitions covering the selected nodes: one batch
-        # covering_partitions call per involved group resolves every
-        # selected subtree's partition set from the flat leaf tables.
-        flat_tries = self._routing.flat.tries
-        by_group: dict[int, list[TrieNode]] = {}
-        for entry, node in selected:
-            by_group.setdefault(entry.group_id, []).append(node)
-        covering: dict[tuple[int, int], np.ndarray] = {}
-        for gid, group_nodes in by_group.items():
-            ft = flat_tries[gid]
-            nids = [ft.id_of(n) for n in group_nodes]
-            for node, pids in zip(group_nodes, ft.covering_partitions(nids)):
-                covering[(gid, id(node))] = pids
-        to_load: dict[str, list[str]] = {}
-        for entry, node in selected:
-            pids = set(
-                int(p) for p in covering[(entry.group_id, id(node))]
-            )
-            if not node.is_leaf or node.depth == 0:
-                pids.add(entry.default_partition)
-            keys = self._target_keys(entry, node)
-            for pid in sorted(pids):
-                to_load.setdefault(partition_name(pid), []).extend(keys)
+        selected = self._select_nodes(
+            variant, primary, candidates, k, adaptive_factor
+        )
+        to_load = self._plan_partition_reads(selected)
 
         if probe is not None:
             now = time.perf_counter()
@@ -1050,6 +1135,494 @@ class ClimberIndex:
             tel.record_query(stats, probe)
         return QueryResult(ids, dists, stats)
 
+    # -- progressive queries -----------------------------------------------------------
+
+    def attach_calibration(
+        self, calibration: "ProgressiveCalibration | str | Path | None"
+    ) -> ProgressiveCalibration | None:
+        """Attach (or detach) the early-stopping calibration artifact.
+
+        Accepts a :class:`~repro.core.progressive.ProgressiveCalibration`,
+        a path to one saved by
+        :func:`repro.evaluation.calibrate_early_stop` (the JSON sidecar
+        persisted next to the index partitions), or ``None`` to detach.
+        ``early_stop="confidence"`` queries consult the attached curve;
+        without one they fall back to the conservative built-in prior.
+        """
+        if calibration is None or isinstance(calibration, ProgressiveCalibration):
+            self.calibration = calibration
+        else:
+            self.calibration = ProgressiveCalibration.load(calibration)
+        return self.calibration
+
+    def _resolve_stop_rule(
+        self, early_stop: object, confidence: float | None
+    ) -> StopRule | None:
+        """Knob resolution: explicit arg → config → env → ``"off"``."""
+        if early_stop is None:
+            spec: object = self.config.effective_early_stop
+        else:
+            spec = early_stop
+        if confidence is not None and not 0.0 < confidence < 1.0:
+            raise ConfigurationError(
+                f"confidence must be in (0, 1), got {confidence!r}"
+            )
+        conf = (
+            confidence if confidence is not None
+            else self.config.early_stop_confidence
+        )
+        return resolve_stop_rule(spec, conf, self.calibration)
+
+    def knn_progressive(
+        self,
+        query: np.ndarray,
+        k: int,
+        variant: str = "adaptive",
+        adaptive_factor: int | None = None,
+        on_partition_failure: str | None = None,
+        early_stop: str | int | None = None,
+        confidence: float | None = None,
+        _probe: QueryProbe | None = None,
+    ) -> Iterator[ProgressiveUpdate]:
+        """Progressive kNN: stream improving answers partition by partition.
+
+        The routed plan of the equivalent :meth:`knn` call is walked in
+        its promise order, yielding one
+        :class:`~repro.core.progressive.ProgressiveUpdate` per physical
+        partition visited (running top-k, improvement, stability) and a
+        final update carrying the full :class:`QueryStats`.  With
+        ``early_stop`` disabled the final update is **bit-identical** to
+        :meth:`knn` — same ids, distances, stats fields (bar
+        ``wall_seconds``) and logical DFS counters — because both paths
+        share the planner and the final answer is recomputed over the
+        candidate set concatenated in :meth:`knn`'s canonical order.
+
+        Parameters beyond :meth:`knn`'s
+        ------------------------------
+        early_stop:
+            ``"off"`` | ``"confidence"`` | ``"confidence:0.95"`` |
+            ``"streak:3"`` | bare int.  ``None`` defers to
+            ``config.early_stop`` and then the ``CLIMBER_EARLY_STOP``
+            environment variable.  Confidence mode maps the confidence to
+            a stable-streak threshold via the attached calibration (see
+            :meth:`attach_calibration`) or the built-in prior.  The rule
+            never fires before ``k`` answers are in hand, so an index
+            holding fewer than ``k`` records always runs to full coverage.
+        confidence:
+            Confidence level for ``early_stop="confidence"``; defaults to
+            ``config.early_stop_confidence``.
+
+        Note: validation, signature and routing run eagerly at call time
+        (consuming the index RNG stream exactly like :meth:`knn`); only
+        the partition visits are lazy.
+        """
+        self._validate_query_args(k, variant)
+        on_failure = self._resolve_on_failure(on_partition_failure)
+        rule = self._resolve_stop_rule(early_stop, confidence)
+        probe = _probe if _probe is not None else self._tel.probe()
+        t0 = time.perf_counter()
+        od_slack = 1 if variant == "adaptive" else 0
+        if probe is None:
+            ranked = self.query_signature(query)
+            candidates = self.group_candidates(ranked, od_slack=od_slack)
+        else:
+            with probe.stage("signature"):
+                ranked = self.query_signature(query)
+            with probe.stage("route"):
+                candidates = self.group_candidates(ranked, od_slack=od_slack)
+        primary = self.select_primary(candidates)
+        return self._knn_progressive_routed(
+            np.asarray(query, dtype=np.float64),
+            k, variant, adaptive_factor, candidates, t0, rule,
+            primary=primary,
+            probe=probe,
+            on_failure=on_failure,
+        )
+
+    def knn_batch_progressive(
+        self,
+        queries: np.ndarray,
+        k: int,
+        variant: str = "adaptive",
+        adaptive_factor: int | None = None,
+        on_partition_failure: str | None = None,
+        early_stop: str | int | None = None,
+        confidence: float | None = None,
+        _probes: list[QueryProbe] | None = None,
+    ) -> list[ProgressiveUpdate]:
+        """Progressive kNN over a batch: one *final* update per row.
+
+        The batch preamble is :meth:`knn_batch`'s — shared PAA/signature
+        work, one routing matrix over distinct signatures, serial
+        ``select_primary`` in row order pinning the RNG stream — and each
+        row then runs its own progressive walk (with the shared early-stop
+        rule) inside the same sharded fan-out.  Intermediate updates are
+        consumed internally; the returned
+        :class:`~repro.core.progressive.ProgressiveUpdate` per row carries
+        the answer, its stats and the forgone coverage.  With stopping
+        disabled every row is bit-identical to :meth:`knn_batch`.
+        """
+        self._validate_query_args(k, variant)
+        on_failure = self._resolve_on_failure(on_partition_failure)
+        rule = self._resolve_stop_rule(early_stop, confidence)
+        arr = np.asarray(queries, dtype=np.float64)
+        if arr.ndim == 1:
+            arr = arr.reshape(1, -1)
+        if arr.shape[0] == 0:
+            return []
+        tel = self._tel
+        probes = _probes
+        if probes is None and tel.enabled:
+            probes = [tel.probe() for _ in range(arr.shape[0])]
+            if not any(probe is not None for probe in probes):
+                probes = None
+        if probes is not None and len(probes) != arr.shape[0]:
+            raise ConfigurationError(
+                f"{len(probes)} probes for {arr.shape[0]} query rows"
+            )
+        live_probes = (
+            sum(1 for probe in probes if probe is not None)
+            if probes is not None else 0
+        )
+        t0 = time.perf_counter()
+        paa = paa_transform(arr, self.config.word_length)
+        ranked = permutation_prefixes(
+            paa, self._art.pivots, self.config.prefix_length
+        )
+        if probes is not None:
+            sig_s = time.perf_counter() - t0
+            if tel.enabled:
+                tel.registry.histogram("query.batch.signature_s").observe(sig_s)
+            for probe in probes:
+                if probe is not None:
+                    probe.add_stage("signature", sig_s / live_probes)
+        od_slack = 1 if variant == "adaptive" else 0
+        uniq, inverse = np.unique(ranked, axis=0, return_inverse=True)
+        inverse = np.asarray(inverse).reshape(-1)
+        od, wd = self._routing.distance_matrices(uniq)
+        candidates_of = []
+        primaries = []
+        t_route = time.perf_counter()
+        for i in range(arr.shape[0]):
+            row = int(inverse[i])
+            candidates_of.append(
+                self._routing.candidates(
+                    ranked[i], od[row], wd[row], od_slack=od_slack
+                )
+            )
+            primaries.append(self.select_primary(candidates_of[-1]))
+        if probes is not None:
+            route_s = time.perf_counter() - t_route
+            if tel.enabled:
+                tel.registry.histogram("query.batch.route_s").observe(route_s)
+            for probe in probes:
+                if probe is not None:
+                    probe.add_stage("route", route_s / live_probes)
+        shared_share = (time.perf_counter() - t0) / arr.shape[0]
+
+        def run_shard(span):
+            start, end = span
+            out = []
+            for i in range(start, end):
+                walk = self._knn_progressive_routed(
+                    arr[i], k, variant, adaptive_factor, candidates_of[i],
+                    time.perf_counter() - shared_share, rule,
+                    primary=primaries[i],
+                    probe=probes[i] if probes is not None else None,
+                    on_failure=on_failure,
+                )
+                final = None
+                for final in walk:
+                    pass
+                out.append(final)
+            return out
+
+        cfg = self.config
+        if _probes is not None:
+            executor = SerialExecutor()
+        else:
+            executor = make_executor(cfg.executor, cfg.effective_n_workers,
+                                     require_shared_memory=True)
+        with executor:
+            shards = executor.map(
+                tel.wrap_tasks("query.shard", run_shard),
+                split_ranges(arr.shape[0], _QUERY_SHARD_ROWS),
+            )
+        return [update for shard in shards for update in shard]
+
+    def _knn_progressive_routed(
+        self,
+        query: np.ndarray,
+        k: int,
+        variant: str,
+        adaptive_factor: int | None,
+        candidates: list[GroupCandidate],
+        t0: float,
+        rule: StopRule | None,
+        primary: GroupCandidate | None = None,
+        probe: QueryProbe | None = None,
+        on_failure: str = "raise",
+    ) -> Iterator[ProgressiveUpdate]:
+        """The progressive walk over :meth:`_knn_routed`'s exact plan.
+
+        Parity discipline: planning (``_select_nodes`` +
+        ``_plan_partition_reads``), the per-partition read/skip semantics,
+        the within-partition expansion trigger and the cost accounting all
+        replicate ``_knn_routed`` statement for statement, in the same
+        order.  Intermediate top-k states come from per-partition
+        ``knn_bruteforce`` merged via ``knn_merge`` (exact over the
+        candidates seen so far); the *final* answer is recomputed from the
+        candidate arrays concatenated in the canonical visit order — the
+        identical computation ``_knn_routed`` performs — so full-coverage
+        runs are bit-identical to :meth:`knn` down to the distance ulps.
+        """
+        sim = ClusterSimulator(self.model)
+        cfg = self.config
+        if probe is not None:
+            t_mark = time.perf_counter()
+        if primary is None:
+            primary = self.select_primary(candidates)
+
+        sim.run_driver_step(
+            "query/route",
+            TaskCost(
+                cpu_ops=int(
+                    ops_signature(cfg.n_pivots, cfg.word_length, cfg.prefix_length)
+                    + self.n_groups * cfg.prefix_length * 8
+                )
+            ),
+        )
+
+        selected = self._select_nodes(
+            variant, primary, candidates, k, adaptive_factor
+        )
+        to_load = self._plan_partition_reads(selected)
+
+        # The routed plan as physical partitions, in exactly the order
+        # _knn_routed's read loop visits them: sorted base names, each
+        # base (when present) before its delta partitions.
+        plan: list[tuple[str, str]] = []
+        for pname in sorted(to_load):
+            physical = ([pname] if self.dfs.has_partition(pname) else [])
+            physical += self._delta_names(pname)
+            for actual in physical:
+                plan.append((pname, actual))
+        n_planned = len(plan)
+
+        if probe is not None:
+            now = time.perf_counter()
+            probe.add_stage("select", now - t_mark)
+            counters_before = getattr(self.dfs, "counters", None)
+
+        ids_parts: list[np.ndarray] = []
+        val_parts: list[np.ndarray] = []
+        loaded = []
+        failed: list[str] = []
+        data_bytes = 0
+        scan_costs = []
+        fallback_pool: list[tuple] = []
+        run_ids = np.empty(0, dtype=np.int64)
+        run_dists = np.empty(0, dtype=np.float64)
+        stable = 0
+        visited = 0
+        stopped = False
+
+        for pname, actual in plan:
+            wanted = set(to_load[pname])
+            if probe is not None:
+                t_read = time.perf_counter()
+            step_failed = False
+            cid = cval = None
+            try:
+                part = self.dfs.read_partition(actual)
+                present = [
+                    key for key in part.cluster_keys() if key in wanted
+                ]
+                if present:
+                    cid, cval = part.read_clusters(present)
+            except PartitionNotFoundError:
+                raise
+            except StorageError:
+                if on_failure != "skip":
+                    raise
+                failed.append(actual)
+                step_failed = True
+            if not step_failed:
+                loaded.append(actual)
+                data_bytes += part.nbytes
+                if cid is not None:
+                    ids_parts.append(cid)
+                    val_parts.append(cval)
+                other_keys = [
+                    key for key in part.cluster_keys() if key not in wanted
+                ]
+                cost = self._partition_scan_cost(part)
+                if other_keys:
+                    fallback_pool.append(
+                        (actual, part, other_keys, cost, cid is not None)
+                    )
+                scan_costs.append(cost)
+            if probe is not None:
+                probe.add_stage("read", time.perf_counter() - t_read)
+            visited += 1
+
+            prev_kth = (
+                float(run_dists[k - 1])
+                if run_dists.shape[0] >= k else float("inf")
+            )
+            new_neighbors = 0
+            changed = False
+            if not step_failed and cid is not None and cid.shape[0]:
+                part_ids, part_d = knn_bruteforce(query, cval, cid, k)
+                new_ids, new_d = knn_merge(
+                    [(run_ids, run_dists), (part_ids, part_d)], k
+                )
+                entered = np.isin(new_ids, run_ids, invert=True)
+                new_neighbors = int(np.count_nonzero(entered))
+                changed = not (
+                    new_ids.shape[0] == run_ids.shape[0]
+                    and np.array_equal(new_ids, run_ids)
+                )
+                run_ids, run_dists = new_ids, new_d
+            kth = (
+                float(run_dists[k - 1])
+                if run_dists.shape[0] >= k else float("inf")
+            )
+            # A failed (skipped) partition cannot improve the answer, so
+            # it counts toward the stable streak like an unchanged read.
+            stable = 0 if changed else stable + 1
+            if np.isfinite(prev_kth) and prev_kth > 0 and kth < prev_kth:
+                improvement = (prev_kth - kth) / prev_kth
+            else:
+                improvement = 0.0
+
+            yield ProgressiveUpdate(
+                ids=run_ids,
+                distances=run_dists,
+                k=k,
+                partitions_visited=visited,
+                partitions_planned=n_planned,
+                new_neighbors=new_neighbors,
+                kth_distance=kth,
+                improvement=improvement,
+                stable_steps=stable,
+                stability=stable / visited,
+                done=False,
+            )
+            if rule is not None and rule.should_stop(
+                run_ids.shape[0] >= k, visited, stable
+            ):
+                # A rule firing on the last planned partition forgoes
+                # nothing — that is a full-coverage answer, not an early
+                # stop, so the flag (and the early_stops counter) stays
+                # down.
+                stopped = visited < n_planned
+                break
+
+        forgone = tuple(actual for _, actual in plan[visited:])
+
+        # Within-partition expansion, exactly as _knn_routed applies it.
+        # The stop rule requires k answers in hand, and fewer than k
+        # targeted records means fewer than k in hand, so an early-stopped
+        # walk can never reach this with a truthy trigger — the expansion
+        # only ever runs at full coverage, where it must mirror knn.
+        n_targeted = int(sum(p.shape[0] for p in ids_parts))
+        expanded = False
+        if n_targeted < k and fallback_pool:
+            expanded = True
+            if probe is not None:
+                t_read = time.perf_counter()
+            for actual, part, other_keys, cost, contributed in fallback_pool:
+                try:
+                    cid, cval = part.read_clusters(other_keys)
+                except PartitionNotFoundError:
+                    raise
+                except StorageError:
+                    if on_failure != "skip":
+                        raise
+                    if not contributed:
+                        loaded.remove(actual)
+                        failed.append(actual)
+                        data_bytes -= part.nbytes
+                        scan_costs.remove(cost)
+                    continue
+                ids_parts.append(cid)
+                val_parts.append(cval)
+            if probe is not None:
+                probe.add_stage("read", time.perf_counter() - t_read)
+
+        if probe is not None:
+            if counters_before is not None:
+                counters_after = self.dfs.counters
+                probe.add_count(
+                    "cache_hits",
+                    counters_after.cache_hits - counters_before.cache_hits,
+                )
+                probe.add_count(
+                    "cache_misses",
+                    counters_after.cache_misses - counters_before.cache_misses,
+                )
+            t_mark = time.perf_counter()
+
+        # Final answer: the canonical concatenated refinement — the same
+        # arrays in the same order _knn_routed concatenates, so the
+        # distances match knn's to the bit (BLAS reduction order and all).
+        if ids_parts:
+            all_ids = np.concatenate(ids_parts)
+            all_vals = np.vstack(val_parts)
+            ids, dists = knn_bruteforce(query, all_vals, all_ids, k)
+            examined = int(all_ids.shape[0])
+        else:
+            ids = np.empty(0, dtype=np.int64)
+            dists = np.empty(0, dtype=np.float64)
+            examined = 0
+
+        if probe is not None:
+            probe.add_stage("refine", time.perf_counter() - t_mark)
+            probe.add_count("candidates_scored", examined)
+
+        sim.run_stage("query/scan", scan_costs)
+        report = sim.fresh_report()
+        stats = QueryStats(
+            variant=variant,
+            k=k,
+            best_od=primary.od,
+            group_ids=tuple(c.entry.group_id for c in candidates),
+            path_len=primary.path_len,
+            gn_size=primary.gn.count,
+            n_selected_nodes=len(selected),
+            partitions_loaded=tuple(loaded),
+            data_bytes=data_bytes,
+            records_examined=examined,
+            expanded_within_partition=expanded,
+            sim_seconds=report.total_seconds,
+            wall_seconds=time.perf_counter() - t0,
+            partitions_failed=tuple(failed),
+            partitions_forgone=forgone,
+        )
+        tel = self._tel
+        if tel.enabled:
+            tel.record_query(stats, probe)
+            tel.record_progressive(stats, visited, n_planned, stopped)
+        yield ProgressiveUpdate(
+            ids=ids,
+            distances=dists,
+            k=k,
+            partitions_visited=visited,
+            partitions_planned=n_planned,
+            new_neighbors=0,
+            kth_distance=(
+                float(dists[k - 1]) if dists.shape[0] >= k else float("inf")
+            ),
+            improvement=0.0,
+            stable_steps=stable,
+            stability=stable / visited if visited else 1.0,
+            done=True,
+            stopped_early=stopped,
+            partitions_forgone=forgone,
+            stats=stats,
+        )
+
     # -- observability surface ---------------------------------------------------------
 
     @staticmethod
@@ -1081,6 +1654,58 @@ class ClimberIndex:
             "distances": [float(d) for d in result.distances],
         }
 
+    @staticmethod
+    def _explain_progressive(updates: list[ProgressiveUpdate]) -> dict:
+        """The progressive-plan section of an explain entry."""
+        final = updates[-1]
+        return {
+            "partitions_planned": final.partitions_planned,
+            "partitions_visited": final.partitions_visited,
+            "visited_fraction": final.visited_fraction,
+            "stopped_early": final.stopped_early,
+            "partitions_forgone": list(final.partitions_forgone),
+            "steps": [
+                {
+                    "partitions_visited": u.partitions_visited,
+                    "new_neighbors": u.new_neighbors,
+                    "kth_distance": u.kth_distance,
+                    "improvement": u.improvement,
+                    "stable_steps": u.stable_steps,
+                    "stability": u.stability,
+                }
+                for u in updates
+                if not u.done
+            ],
+        }
+
+    @staticmethod
+    def _explain_totals(entries: list[dict]) -> dict:
+        """Aggregate section of a batch explain response.
+
+        The aggregate ``coverage`` guards its denominator: a batch whose
+        queries wanted no partitions at all (every candidate set empty or
+        deduplicated away) is fully covered by definition — 1.0, never a
+        division by zero.
+        """
+        total_loaded = sum(len(e["partitions"]) for e in entries)
+        total_failed = sum(len(e["partitions_failed"]) for e in entries)
+        wanted = total_loaded + total_failed
+        return {
+            "partitions_probed": sum(
+                e["partitions_probed"] for e in entries
+            ),
+            "bytes_read": sum(e["bytes_read"] for e in entries),
+            "records_examined": sum(
+                e["records_examined"] for e in entries
+            ),
+            "cache_hits": sum(e["cache"]["hits"] for e in entries),
+            "cache_misses": sum(e["cache"]["misses"] for e in entries),
+            "wall_seconds": sum(e["wall_seconds"] for e in entries),
+            "degraded_queries": sum(e["degraded"] for e in entries),
+            "partitions_failed": total_failed,
+            "coverage": (total_loaded / wanted) if wanted else 1.0,
+        }
+
     def explain_query(
         self,
         query: np.ndarray,
@@ -1088,6 +1713,9 @@ class ClimberIndex:
         variant: str = "adaptive",
         adaptive_factor: int | None = None,
         on_partition_failure: str | None = None,
+        progressive: bool = False,
+        early_stop: str | int | None = None,
+        confidence: float | None = None,
     ) -> dict:
         """Run a query and return its structured per-stage breakdown.
 
@@ -1098,6 +1726,13 @@ class ClimberIndex:
         answer set itself — everything JSON-able, stamped with
         :data:`~repro.obs.OBS_SCHEMA`.
 
+        With ``progressive=True`` (implied by passing ``early_stop``) the
+        query runs through :meth:`knn_progressive` and each entry gains a
+        ``"progressive"`` section: the routed plan size, how much of it
+        was visited vs forgone, and the per-step improvement/stability
+        trajectory.  Batch rows then run as serial per-row progressive
+        walks (RNG-equivalent to the batch pipeline).
+
         Works regardless of ``config.telemetry`` (probes are attached
         explicitly for this call).  The query *runs for real*: it consumes
         the index RNG stream exactly like the equivalent ``knn`` /
@@ -1106,8 +1741,23 @@ class ClimberIndex:
         each row's cache delta is attributed exactly.
         """
         arr = np.asarray(query, dtype=np.float64)
+        run_progressive = progressive or early_stop is not None
         if arr.ndim == 1:
             probe = QueryProbe()
+            if run_progressive:
+                updates = list(self.knn_progressive(
+                    arr, k, variant, adaptive_factor,
+                    on_partition_failure=on_partition_failure,
+                    early_stop=early_stop, confidence=confidence,
+                    _probe=probe,
+                ))
+                final = updates[-1]
+                result = QueryResult(final.ids, final.distances, final.stats)
+                entry = self._explain_entry(result, probe)
+                entry["schema"] = OBS_SCHEMA
+                entry["mode"] = "knn_progressive"
+                entry["progressive"] = self._explain_progressive(updates)
+                return entry
             result = self.knn(arr, k, variant, adaptive_factor,
                               on_partition_failure=on_partition_failure,
                               _probe=probe)
@@ -1115,6 +1765,31 @@ class ClimberIndex:
             entry["schema"] = OBS_SCHEMA
             entry["mode"] = "knn"
             return entry
+        if run_progressive:
+            entries = []
+            for i in range(arr.shape[0]):
+                probe = QueryProbe()
+                updates = list(self.knn_progressive(
+                    arr[i], k, variant, adaptive_factor,
+                    on_partition_failure=on_partition_failure,
+                    early_stop=early_stop, confidence=confidence,
+                    _probe=probe,
+                ))
+                final = updates[-1]
+                result = QueryResult(final.ids, final.distances, final.stats)
+                entry = self._explain_entry(result, probe)
+                entry["progressive"] = self._explain_progressive(updates)
+                entries.append(entry)
+            return {
+                "schema": OBS_SCHEMA,
+                "mode": "knn_batch_progressive",
+                "batch_size": len(entries),
+                # Per-row walks compute their own signatures/routes, so
+                # nothing is amortised across rows here.
+                "shared_stages": [],
+                "queries": entries,
+                "totals": self._explain_totals(entries),
+            }
         probes = [QueryProbe() for _ in range(arr.shape[0])]
         results = self.knn_batch(arr, k, variant, adaptive_factor,
                                  on_partition_failure=on_partition_failure,
@@ -1129,22 +1804,7 @@ class ClimberIndex:
             "batch_size": len(entries),
             "shared_stages": ["signature", "route"],
             "queries": entries,
-            "totals": {
-                "partitions_probed": sum(
-                    e["partitions_probed"] for e in entries
-                ),
-                "bytes_read": sum(e["bytes_read"] for e in entries),
-                "records_examined": sum(
-                    e["records_examined"] for e in entries
-                ),
-                "cache_hits": sum(e["cache"]["hits"] for e in entries),
-                "cache_misses": sum(e["cache"]["misses"] for e in entries),
-                "wall_seconds": sum(e["wall_seconds"] for e in entries),
-                "degraded_queries": sum(e["degraded"] for e in entries),
-                "partitions_failed": sum(
-                    len(e["partitions_failed"]) for e in entries
-                ),
-            },
+            "totals": self._explain_totals(entries),
         }
 
     def stats(self) -> dict:

@@ -1,5 +1,6 @@
 """Evaluation substrate: ground truth, recall, harness, reporting."""
 
+from repro.evaluation.calibration import calibrate_early_stop
 from repro.evaluation.groundtruth import GroundTruth, exact_ground_truth
 from repro.evaluation.harness import SystemEvaluation, evaluate_system
 from repro.evaluation.reporting import fmt_duration, render_table, write_csv
@@ -9,6 +10,7 @@ __all__ = [
     "exact_ground_truth",
     "SystemEvaluation",
     "evaluate_system",
+    "calibrate_early_stop",
     "render_table",
     "write_csv",
     "fmt_duration",

@@ -224,6 +224,31 @@ class Telemetry:
             for name, n in probe.counts.items():
                 reg.counter(f"query.{name}").inc(n)
 
+    def record_progressive(self, stats, visited: int, planned: int,
+                           stopped_early: bool) -> None:
+        """Fold one progressive query's coverage outcome into the registry.
+
+        Complements :meth:`record_query` (which the progressive path also
+        calls for the shared ``query.*`` surface) with the
+        ``query.progressive.*`` counters: how much of the routed plan was
+        visited, how much was deliberately forgone to an early stop, and
+        how often the stopping rule fired at all.
+        """
+        if not self.enabled:
+            return
+        reg = self.registry
+        reg.counter("query.progressive.count").inc()
+        reg.counter("query.progressive.partitions_visited").inc(visited)
+        forgone = len(getattr(stats, "partitions_forgone", ()))
+        if forgone:
+            reg.counter("query.progressive.partitions_forgone").inc(forgone)
+        if stopped_early:
+            reg.counter("query.progressive.early_stops").inc()
+        if planned:
+            reg.histogram("query.progressive.visited_fraction").observe(
+                visited / planned
+            )
+
     def snapshot(self) -> dict:
         return {
             "schema": OBS_SCHEMA,

@@ -123,6 +123,10 @@ class QueryResponse:
     """Admission to dispatch — how long the request waited to be batched."""
     batch_size: int
     """Requests in the ``knn_batch`` dispatch this response rode in."""
+    stopped_early: bool = False
+    """True when the request ran progressively and its early-stopping rule
+    fired — the answer was served before full plan coverage, with the
+    forgone partitions recorded in ``stats.partitions_forgone``."""
 
     @property
     def degraded(self) -> bool:
@@ -133,6 +137,11 @@ class QueryResponse:
     def coverage(self) -> float:
         """Fraction of wanted partitions actually read (1.0 = complete)."""
         return self.stats.coverage
+
+    @property
+    def visit_coverage(self) -> float:
+        """Fraction of the routed plan visited (early stops count here)."""
+        return self.stats.visit_coverage
 
 
 class _Request:
@@ -159,8 +168,9 @@ class QueryService:
             response = await service.submit(query, k=10)
 
     ``submit`` may be awaited from any number of concurrent coroutines;
-    requests sharing ``(k, variant, adaptive_factor, on_partition_failure)``
-    coalesce into shared ``knn_batch`` dispatches.  The event loop is
+    requests sharing ``(k, variant, adaptive_factor, on_partition_failure,
+    early_stop, confidence)`` coalesce into shared ``knn_batch`` (or
+    ``knn_batch_progressive``) dispatches.  The event loop is
     never blocked by index work: dispatches run on a private thread pool
     (``config.worker_threads`` wide), and the index's own ``n_workers``
     parallelism applies within each dispatch.
@@ -185,6 +195,8 @@ class QueryService:
         self._c_batches = self.registry.counter("serve.batches")
         self._c_degraded = self.registry.counter("serve.degraded")
         self._c_failures = self.registry.counter("serve.failures")
+        self._c_early_stopped = self.registry.counter("serve.early_stopped")
+        self._c_forgone = self.registry.counter("serve.partitions_forgone")
         self._g_queue_depth = self.registry.gauge("serve.queue_depth")
         self._h_batch_size = self.registry.histogram(
             "serve.batch_size", bounds=_BATCH_SIZE_BOUNDS
@@ -249,6 +261,16 @@ class QueryService:
                     )
         queue.put_nowait(_SHUTDOWN)
         await batcher
+        # Submitters racing the shutdown (woken from a blocked admission
+        # wait, or otherwise admitted after the sentinel) may have left
+        # requests behind the batcher's exit point.  They would hang on
+        # never-dispatched futures — fail them instead.
+        while not queue.empty():
+            item = queue.get_nowait()
+            if item is not _SHUTDOWN and not item.future.done():
+                item.future.set_exception(
+                    ServiceClosedError("service stopped before dispatch")
+                )
         if self._inflight:
             await asyncio.gather(*tuple(self._inflight))
         self._pool.shutdown(wait=True)
@@ -271,6 +293,8 @@ class QueryService:
         variant: str = "adaptive",
         adaptive_factor: int | None = None,
         on_partition_failure: str | None = None,
+        early_stop: str | int | None = None,
+        confidence: float | None = None,
     ) -> QueryResponse:
         """Admit one kNN query and await its response.
 
@@ -278,12 +302,23 @@ class QueryService:
         with equal argument tuples may share a ``knn_batch`` dispatch
         (answers are unaffected — batching is bit-transparent).
 
+        ``early_stop`` (and its optional ``confidence``) switches the
+        request onto the progressive path
+        (:meth:`~repro.core.ClimberIndex.knn_batch_progressive`): the
+        response is served as soon as the stopping rule fires, with
+        ``stopped_early`` set and the forgone partitions recorded in
+        ``stats.partitions_forgone`` (``serve.early_stopped`` /
+        ``serve.partitions_forgone`` count them service-wide).
+        ``early_stop="off"`` runs progressively at full coverage —
+        bit-identical answers to the default path.
+
         Raises
         ------
         ServiceOverloadedError
             ``admission="reject"`` and the queue is at ``queue_limit``.
         ServiceClosedError
-            The service is not running.
+            The service is not running, or stopped before this request
+            could be dispatched.
         """
         if not self.running:
             raise ServiceClosedError("service is not running")
@@ -298,10 +333,20 @@ class QueryService:
             await self._space.wait()
             if not self.running:
                 raise ServiceClosedError("service stopped while blocked")
+        # Re-check after the admission loop: a blocked submitter can be
+        # woken by stop() *via the space event with the queue below its
+        # limit* (drain mode empties nothing, but dispatch does), exit the
+        # loop, and otherwise enqueue behind the shutdown sentinel — a
+        # request the batcher will never see.  stop() also sweeps the
+        # queue afterwards, so even a lost race fails fast instead of
+        # hanging.
+        if not self.running:
+            raise ServiceClosedError("service stopped while blocked")
         future = self._loop.create_future()
         req = _Request(
             np.asarray(query, dtype=np.float64),
-            (int(k), variant, adaptive_factor, on_partition_failure),
+            (int(k), variant, adaptive_factor, on_partition_failure,
+             early_stop, confidence),
             future,
             time.perf_counter(),
         )
@@ -372,18 +417,27 @@ class QueryService:
         for req in batch:
             groups.setdefault(req.key, []).append(req)
         for key, group in groups.items():
-            k, variant, adaptive_factor, on_failure = key
+            k, variant, adaptive_factor, on_failure, early_stop, conf = key
 
             try:
                 queries = np.stack([req.query for req in group])
 
                 def run(queries=queries, k=k, variant=variant,
                         adaptive_factor=adaptive_factor,
-                        on_failure=on_failure):
-                    return self.index.knn_batch(
+                        on_failure=on_failure, early_stop=early_stop,
+                        conf=conf):
+                    if early_stop is None:
+                        return self.index.knn_batch(
+                            queries, k, variant=variant,
+                            adaptive_factor=adaptive_factor,
+                            on_partition_failure=on_failure,
+                        )
+                    return self.index.knn_batch_progressive(
                         queries, k, variant=variant,
                         adaptive_factor=adaptive_factor,
                         on_partition_failure=on_failure,
+                        early_stop=early_stop,
+                        confidence=conf,
                     )
 
                 results = await self._loop.run_in_executor(self._pool, run)
@@ -394,6 +448,9 @@ class QueryService:
                         req.future.set_exception(err)
                 continue
             t_done = time.perf_counter()
+            # QueryResult rows and final ProgressiveUpdate rows share the
+            # ids/distances/stats surface; only the latter carry
+            # stopped_early.
             for req, result in zip(group, results):
                 latency = t_done - req.t_submit
                 self._h_latency.observe(latency)
@@ -401,6 +458,12 @@ class QueryService:
                 self._c_responses.inc()
                 if result.stats.degraded:
                     self._c_degraded.inc()
+                stopped_early = bool(getattr(result, "stopped_early", False))
+                if stopped_early:
+                    self._c_early_stopped.inc()
+                forgone = len(result.stats.partitions_forgone)
+                if forgone:
+                    self._c_forgone.inc(forgone)
                 if not req.future.done():
                     req.future.set_result(QueryResponse(
                         ids=result.ids,
@@ -409,6 +472,7 @@ class QueryService:
                         latency_s=latency,
                         queue_delay_s=req.t_dispatch - req.t_submit,
                         batch_size=len(batch),
+                        stopped_early=stopped_early,
                     ))
 
     # -- introspection ----------------------------------------------------------

@@ -288,3 +288,56 @@ class TestQueryVariants:
         res = idx.knn(ds.values[2], 5)
         for pname in res.stats.partitions_loaded:
             assert idx.dfs.has_partition(pname)
+
+
+class TestSmallIndexEdges:
+    """Satellite edges: ``k`` exceeding the record count, and the
+    zero-denominator coverage guard, exercised through the real query
+    paths rather than synthetic stats."""
+
+    @pytest.fixture(scope="class")
+    def tiny(self):
+        rng = np.random.default_rng(3)
+        values = rng.standard_normal((12, 32))
+        cfg = ClimberConfig(
+            word_length=8, n_pivots=8, prefix_length=3, capacity=8,
+            sample_fraction=1.0, seed=5, n_input_partitions=1,
+        )
+        from repro.series import SeriesDataset
+
+        dataset = SeriesDataset(values)
+        return dataset, ClimberIndex.build(dataset, cfg)
+
+    def test_knn_k_exceeds_records(self, tiny):
+        ds, idx = tiny
+        res = idx.knn(ds.values[0], 50)
+        assert res.ids.shape[0] <= 12
+        assert res.ids.shape[0] == res.distances.shape[0]
+        assert len(set(res.ids.tolist())) == res.ids.shape[0]
+        assert res.stats.coverage == 1.0
+        assert res.stats.visit_coverage == 1.0
+        assert not res.stats.degraded
+        # Everything reachable was examined: the answer is the exact
+        # brute-force answer over the whole dataset.
+        exact_ids, exact_d = knn_bruteforce(
+            ds.values[0], ds.values, ds.ids, 50
+        )
+        assert set(res.ids.tolist()) <= set(exact_ids.tolist())
+
+    def test_knn_batch_k_exceeds_records(self, tiny):
+        ds, idx = tiny
+        results = idx.knn_batch(ds.values[:4], 50)
+        assert len(results) == 4
+        for res in results:
+            assert 0 < res.ids.shape[0] <= 12
+            assert res.stats.coverage == 1.0
+
+    def test_explain_k_exceeds_records(self, tiny):
+        ds, idx = tiny
+        out = idx.explain_query(ds.values[:3], 50)
+        assert out["mode"] == "knn_batch"
+        # Satellite 1 regression: the aggregate coverage must survive
+        # whatever denominators tiny plans produce.
+        assert 0.0 < out["totals"]["coverage"] <= 1.0
+        for entry in out["queries"]:
+            assert len(entry["ids"]) <= 12

@@ -332,6 +332,52 @@ class TestEnabledDisabledParity:
             assert snap["histograms"][f"query.stage.{stage}_s"]["count"] == 4
 
 
+class TestBatchAmortisation:
+    @pytest.mark.parametrize("sample_every", [1, 3])
+    def test_shared_spans_amortised_over_live_probes(
+        self, obs_dataset, obs_queries, sample_every
+    ):
+        """The batch-shared signature/route spans are split across the
+        probes that actually exist.  Under ``telemetry_sample_every=N``
+        only every Nth query carries a probe, so the per-probe share must
+        be ``span / live_probes`` — dividing by the full batch size
+        instead (the old bug) under-reports the stage histograms by
+        ``live/rows``.  Invariant pinned here: the summed per-query stage
+        time equals the measured shared span."""
+        index = ClimberIndex.build(
+            obs_dataset,
+            _config(telemetry=True, telemetry_sample_every=sample_every),
+        )
+        index.knn_batch(obs_queries, 5)
+        hist = index.stats()["metrics"]["histograms"]
+        n_live = hist["query.wall_s"]["count"]
+        assert n_live == (len(obs_queries) + sample_every - 1) // sample_every
+        for stage in ("signature", "route"):
+            stage_sum = hist[f"query.stage.{stage}_s"]["sum"]
+            span_sum = hist[f"query.batch.{stage}_s"]["sum"]
+            assert stage_sum == pytest.approx(span_sum, rel=1e-9)
+
+    def test_fully_sampled_out_batch_records_no_stage_times(
+        self, obs_dataset, obs_queries
+    ):
+        """A sampling cadence longer than the batch leaves zero live
+        probes; the shared spans must not be charged to anyone (and must
+        not divide by zero)."""
+        cadence = len(obs_queries) + 5
+        index = ClimberIndex.build(
+            obs_dataset,
+            _config(telemetry=True, telemetry_sample_every=cadence),
+        )
+        index.knn(obs_queries[0], 5)  # takes the tick-0 probe
+        index.knn_batch(obs_queries, 5)  # ticks 1..6: all sampled out
+        snap = index.stats()["metrics"]
+        # The probe list collapses to None: no shared-span histogram, no
+        # stage attribution — only the lone knn's probe left a breakdown.
+        assert "query.batch.signature_s" not in snap["histograms"]
+        assert snap["histograms"]["query.stage.signature_s"]["count"] == 1
+        assert snap["counters"]["query.count"] == 1 + len(obs_queries)
+
+
 # ---------------------------------------------------------------------------
 # explain_query
 # ---------------------------------------------------------------------------

@@ -1,0 +1,630 @@
+"""Progressive kNN: parity oracle, early stopping, calibration, knobs.
+
+The contracts under test (see :mod:`repro.core.progressive`):
+
+* **Parity oracle** — a progressive run with stopping disabled is
+  bit-identical to :meth:`~repro.core.ClimberIndex.knn` in its final
+  update: same ids, same distance bits, same stats fields (bar
+  ``wall_seconds``) and same logical DFS counters, across partition
+  formats and worker counts.
+* **Early stopping is safe** — the rule never fires before ``k`` answers
+  are in hand, forgone coverage is recorded honestly, and a stopped
+  answer is still a complete (ordered, deduplicated) answer set.
+* **Calibration** — the offline curve is monotone, persists as JSON,
+  round-trips through :meth:`~repro.core.ClimberIndex.attach_calibration`,
+  and drives ``early_stop="confidence"``.
+* **Knob grammar** — explicit arg → config → ``CLIMBER_EARLY_STOP`` env →
+  off, with malformed specs rejected eagerly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ClimberConfig,
+    ClimberIndex,
+    ProgressiveCalibration,
+    StopRule,
+    parse_early_stop,
+    resolve_stop_rule,
+)
+from repro.core.config import EARLY_STOP_ENV, ON_PARTITION_FAILURE_ENV
+from repro.core.index import QueryStats
+from repro.evaluation import calibrate_early_stop
+from repro.exceptions import ConfigurationError
+from repro.resilience import (
+    FAULT_ENV_BITFLIP_RATE,
+    FAULT_ENV_LOSS_RATE,
+    FAULT_ENV_RATE,
+    FAULT_ENV_SEED,
+    FAULT_ENV_STRAGGLER_RATE,
+    FaultPlan,
+    RetryPolicy,
+)
+from repro.series import SeriesDataset
+
+#: Oracles compare explicit twin builds, so ambient CI chaos and the
+#: CI-armed ``CLIMBER_EARLY_STOP`` are both scrubbed.
+_SCRUB_ENV = (
+    FAULT_ENV_SEED, FAULT_ENV_RATE, FAULT_ENV_LOSS_RATE,
+    FAULT_ENV_BITFLIP_RATE, FAULT_ENV_STRAGGLER_RATE,
+    ON_PARTITION_FAILURE_ENV, EARLY_STOP_ENV,
+)
+
+#: QueryStats fields the parity oracle pins exactly (everything except
+#: the wall clock).
+_PINNED_FIELDS = (
+    "variant", "k", "best_od", "group_ids", "path_len", "gn_size",
+    "n_selected_nodes", "partitions_loaded", "data_bytes",
+    "records_examined", "expanded_within_partition", "sim_seconds",
+    "partitions_failed", "partitions_forgone",
+)
+
+
+@pytest.fixture(autouse=True)
+def _scrub_env(monkeypatch):
+    for var in _SCRUB_ENV:
+        monkeypatch.delenv(var, raising=False)
+
+
+def _dataset(n=800, length=32, seed=17):
+    rng = np.random.default_rng(seed)
+    return SeriesDataset(rng.standard_normal((n, length)))
+
+
+def _config(**overrides):
+    base = dict(
+        word_length=8,
+        n_pivots=16,
+        prefix_length=4,
+        capacity=64,
+        sample_fraction=0.5,
+        seed=5,
+        n_input_partitions=4,
+    )
+    base.update(overrides)
+    return ClimberConfig(**base)
+
+
+def _queries(n=12, length=32, seed=23):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((n, length))
+
+
+def _assert_final_matches(final, ref) -> None:
+    assert final.done
+    assert not final.stopped_early
+    assert np.array_equal(final.ids, ref.ids)
+    assert np.array_equal(final.distances, ref.distances)
+    for field in _PINNED_FIELDS:
+        assert getattr(final.stats, field) == getattr(ref.stats, field), field
+
+
+# ---------------------------------------------------------------------------
+# Knob grammar
+# ---------------------------------------------------------------------------
+
+class TestKnobGrammar:
+    @pytest.mark.parametrize("spec,expected", [
+        ("off", ("off", None)),
+        ("OFF", ("off", None)),
+        ("confidence", ("confidence", None)),
+        ("confidence:0.95", ("confidence", 0.95)),
+        ("streak:3", ("streak", 3)),
+        (4, ("streak", 4)),
+    ])
+    def test_parse_accepts(self, spec, expected):
+        assert parse_early_stop(spec) == expected
+
+    @pytest.mark.parametrize("spec", [
+        "", "maybe", "confidence:2", "confidence:nope", "streak:0",
+        "streak:x", 0, -1, True, None, 1.5,
+    ])
+    def test_parse_rejects(self, spec):
+        with pytest.raises(ConfigurationError):
+            parse_early_stop(spec)
+
+    def test_config_validates_eagerly(self):
+        with pytest.raises(ConfigurationError):
+            _config(early_stop="bogus")
+        with pytest.raises(ConfigurationError):
+            _config(early_stop_confidence=1.5)
+        assert _config(early_stop="streak:2").early_stop == "streak:2"
+
+    def test_resolution_chain(self, monkeypatch):
+        # off everywhere -> off
+        assert _config().effective_early_stop == "off"
+        # env fallback
+        monkeypatch.setenv(EARLY_STOP_ENV, "streak:3")
+        assert _config().effective_early_stop == "streak:3"
+        # explicit config wins over env
+        assert _config(early_stop="off").effective_early_stop == "off"
+        # malformed env rejected at resolution time
+        monkeypatch.setenv(EARLY_STOP_ENV, "nonsense")
+        with pytest.raises(ConfigurationError):
+            _config().effective_early_stop
+
+    def test_resolve_stop_rule_modes(self):
+        assert resolve_stop_rule("off", 0.9, None) is None
+        rule = resolve_stop_rule("streak:2", 0.9, None)
+        assert rule == StopRule(streak=2, kind="streak")
+        # confidence without calibration uses the conservative prior:
+        # 1 - 0.5**s >= 0.9 first at s=4.
+        rule = resolve_stop_rule("confidence", 0.9, None)
+        assert rule.kind == "confidence" and rule.streak == 4
+        rule = resolve_stop_rule("confidence:0.99", 0.9, None)
+        assert rule.streak == 7
+
+    def test_stop_rule_requires_k_in_hand(self):
+        rule = StopRule(streak=1)
+        assert not rule.should_stop(False, 5, 5)
+        assert rule.should_stop(True, 1, 1)
+
+
+# ---------------------------------------------------------------------------
+# Parity oracle
+# ---------------------------------------------------------------------------
+
+class TestParityOracle:
+    @pytest.mark.parametrize("fmt", ["v1", "v2"])
+    @pytest.mark.parametrize("n_workers", [1, 2, 4])
+    def test_progressive_off_matches_knn(self, fmt, n_workers):
+        dataset = _dataset()
+        queries = _queries()
+        cfg = _config(partition_format=fmt, n_workers=n_workers)
+        reference = ClimberIndex.build(dataset, cfg)
+        progressive = ClimberIndex.build(dataset, cfg)
+        for variant in ("knn", "adaptive", "od-smallest"):
+            for q in queries:
+                ref = reference.knn(q, 10, variant=variant)
+                final = list(progressive.knn_progressive(
+                    q, 10, variant=variant, early_stop="off"
+                ))[-1]
+                _assert_final_matches(final, ref)
+        ref_c = dataclasses.asdict(reference.dfs.counters)
+        prog_c = dataclasses.asdict(progressive.dfs.counters)
+        for key in ("partitions_read", "bytes_read", "partitions_written",
+                    "bytes_written"):
+            assert ref_c[key] == prog_c[key], key
+
+    @pytest.mark.parametrize("fmt", ["v1", "v2"])
+    @pytest.mark.parametrize("n_workers", [1, 2, 4])
+    def test_batch_progressive_off_matches_knn_batch(self, fmt, n_workers):
+        dataset = _dataset()
+        queries = _queries(16)
+        cfg = _config(partition_format=fmt, n_workers=n_workers)
+        reference = ClimberIndex.build(dataset, cfg)
+        progressive = ClimberIndex.build(dataset, cfg)
+        refs = reference.knn_batch(queries, 10)
+        finals = progressive.knn_batch_progressive(
+            queries, 10, early_stop="off"
+        )
+        assert len(refs) == len(finals)
+        for ref, final in zip(refs, finals):
+            _assert_final_matches(final, ref)
+        assert (reference.dfs.counters.partitions_read
+                == progressive.dfs.counters.partitions_read)
+        assert (reference.dfs.counters.bytes_read
+                == progressive.dfs.counters.bytes_read)
+
+    def test_progressive_consumes_same_rng_stream(self):
+        """Interleaving knn and progressive calls on one index stays on
+        the serial RNG stream: answers equal a knn-only twin's."""
+        dataset = _dataset()
+        queries = _queries(8)
+        reference = ClimberIndex.build(dataset, _config())
+        mixed = ClimberIndex.build(dataset, _config())
+        refs = [reference.knn(q, 5) for q in queries]
+        outs = []
+        for i, q in enumerate(queries):
+            if i % 2:
+                outs.append(mixed.knn(q, 5))
+            else:
+                outs.append(list(mixed.knn_progressive(
+                    q, 5, early_stop="off"
+                ))[-1])
+        for ref, out in zip(refs, outs):
+            assert np.array_equal(ref.ids, out.ids)
+            assert np.array_equal(ref.distances, out.distances)
+
+
+# ---------------------------------------------------------------------------
+# Update stream semantics
+# ---------------------------------------------------------------------------
+
+class TestUpdateStream:
+    @pytest.fixture(scope="class")
+    def index(self):
+        return ClimberIndex.build(_dataset(), _config())
+
+    def test_one_update_per_partition_plus_final(self, index):
+        updates = list(index.knn_progressive(
+            _queries(1)[0], 10, variant="od-smallest", early_stop="off"
+        ))
+        final = updates[-1]
+        steps = updates[:-1]
+        assert final.done and all(not u.done for u in steps)
+        assert len(steps) == final.partitions_planned
+        assert [u.partitions_visited for u in steps] == list(
+            range(1, len(steps) + 1)
+        )
+        assert final.partitions_visited == final.partitions_planned
+        assert final.visited_fraction == 1.0
+        assert final.partitions_forgone == ()
+
+    def test_kth_distance_monotone_and_stability_bounded(self, index):
+        updates = list(index.knn_progressive(
+            _queries(1)[0], 10, variant="od-smallest", early_stop="off"
+        ))
+        steps = [u for u in updates if not u.done]
+        kths = [u.kth_distance for u in steps]
+        assert all(b <= a for a, b in zip(kths, kths[1:]))
+        for u in steps:
+            assert 0.0 <= u.stability < 1.0
+            assert u.stable_steps <= u.partitions_visited
+            assert u.improvement >= 0.0
+
+    def test_intermediate_answers_are_exact_over_seen(self, index):
+        """Every intermediate top-k is sorted by (distance, id) and free
+        of duplicate ids."""
+        for u in index.knn_progressive(
+            _queries(2)[1], 5, variant="od-smallest", early_stop="off"
+        ):
+            assert len(set(u.ids.tolist())) == u.ids.shape[0]
+            order = np.lexsort((u.ids, u.distances))
+            assert np.array_equal(order, np.arange(u.ids.shape[0]))
+
+    def test_generator_is_lazy_after_eager_routing(self, index):
+        """Abandoning the walk early reads fewer partitions than full
+        coverage."""
+        before = index.dfs.counters.partitions_read
+        walk = index.knn_progressive(
+            _queries(3)[2], 10, variant="od-smallest", early_stop="off"
+        )
+        first = next(walk)
+        assert first.partitions_visited == 1
+        walk.close()
+        read = index.dfs.counters.partitions_read - before
+        assert read < first.partitions_planned or first.partitions_planned <= 1
+
+
+# ---------------------------------------------------------------------------
+# Early stopping
+# ---------------------------------------------------------------------------
+
+class TestEarlyStopping:
+    @pytest.fixture(scope="class")
+    def index(self):
+        return ClimberIndex.build(_dataset(), _config())
+
+    def test_streak_rule_stops_and_records_forgone(self, index):
+        stopped = None
+        for q in _queries(16, seed=41):
+            final = list(index.knn_progressive(
+                q, 10, variant="od-smallest", early_stop="streak:1"
+            ))[-1]
+            assert final.done
+            if final.stopped_early:
+                stopped = final
+                break
+        assert stopped is not None, "streak:1 never fired on any query"
+        assert stopped.partitions_visited < stopped.partitions_planned
+        assert len(stopped.partitions_forgone) == (
+            stopped.partitions_planned - stopped.partitions_visited
+        )
+        assert stopped.stats.partitions_forgone == stopped.partitions_forgone
+        # Forgone coverage is honest: visit_coverage drops, but coverage
+        # (failures only) stays complete.
+        assert stopped.stats.visit_coverage < 1.0
+        assert stopped.stats.coverage == 1.0
+        assert stopped.ids.shape[0] == 10
+
+    def test_stopped_answer_is_prefix_consistent(self, index):
+        """A stopped answer equals the full-coverage answer restricted to
+        the partitions actually visited."""
+        q = _queries(16, seed=41)[0]
+        final = list(index.knn_progressive(
+            q, 10, variant="od-smallest", early_stop="streak:1"
+        ))[-1]
+        full = list(index.knn_progressive(
+            q, 10, variant="od-smallest", early_stop="off"
+        ))[-1]
+        if not final.stopped_early:
+            assert np.array_equal(final.ids, full.ids)
+        else:
+            # With fewer candidates seen, distances can only be >= at
+            # each rank.
+            n = min(final.ids.shape[0], full.ids.shape[0])
+            assert np.all(final.distances[:n] >= full.distances[:n] - 1e-12)
+
+    def test_never_stops_before_k_in_hand(self):
+        small = SeriesDataset(
+            np.random.default_rng(3).standard_normal((12, 32))
+        )
+        index = ClimberIndex.build(small, _config(
+            n_pivots=8, prefix_length=3, capacity=8, sample_fraction=1.0,
+            n_input_partitions=1,
+        ))
+        final = list(index.knn_progressive(
+            small.values[0], 50, early_stop="streak:1"
+        ))[-1]
+        assert not final.stopped_early
+        assert final.visited_fraction == 1.0
+        assert final.ids.shape[0] == min(12, final.stats.records_examined)
+        assert final.stats.coverage == 1.0
+
+    def test_env_fallback_arms_stopping(self, monkeypatch, index):
+        monkeypatch.setenv(EARLY_STOP_ENV, "streak:1")
+        finals = [
+            list(index.knn_progressive(q, 10, variant="od-smallest"))[-1]
+            for q in _queries(16, seed=41)
+        ]
+        assert any(f.stopped_early for f in finals)
+        monkeypatch.delenv(EARLY_STOP_ENV)
+        finals = [
+            list(index.knn_progressive(q, 10, variant="od-smallest"))[-1]
+            for q in _queries(16, seed=41)
+        ]
+        assert not any(f.stopped_early for f in finals)
+
+    def test_explicit_off_beats_env(self, monkeypatch, index):
+        monkeypatch.setenv(EARLY_STOP_ENV, "streak:1")
+        for q in _queries(6, seed=41):
+            final = list(index.knn_progressive(
+                q, 10, variant="od-smallest", early_stop="off"
+            ))[-1]
+            assert not final.stopped_early
+
+
+# ---------------------------------------------------------------------------
+# Degraded-mode composition
+# ---------------------------------------------------------------------------
+
+class TestDegradedProgressive:
+    def test_skip_mode_parity_with_knn_under_loss(self):
+        dataset = _dataset()
+        queries = _queries(10)
+        plan = FaultPlan(seed=1234, loss_rate=0.3)
+        cfg = _config(
+            fault_plan=plan,
+            retry_policy=RetryPolicy(max_attempts=2, backoff_base_s=0.0),
+            on_partition_failure="skip",
+        )
+        reference = ClimberIndex.build(dataset, cfg)
+        progressive = ClimberIndex.build(dataset, cfg)
+        degraded = 0
+        for q in queries:
+            ref = reference.knn(q, 10, variant="od-smallest")
+            final = list(progressive.knn_progressive(
+                q, 10, variant="od-smallest", early_stop="off"
+            ))[-1]
+            _assert_final_matches(final, ref)
+            degraded += bool(final.stats.degraded)
+        assert degraded > 0, "loss_rate=0.3 produced no degraded queries"
+
+    def test_failed_partition_counts_as_stable_step(self):
+        dataset = _dataset()
+        plan = FaultPlan(seed=1234, loss_rate=0.3)
+        index = ClimberIndex.build(dataset, _config(
+            fault_plan=plan,
+            retry_policy=RetryPolicy(max_attempts=2, backoff_base_s=0.0),
+            on_partition_failure="skip",
+        ))
+        for q in _queries(10):
+            updates = list(index.knn_progressive(
+                q, 10, variant="od-smallest", early_stop="off"
+            ))
+            final = updates[-1]
+            if not final.stats.partitions_failed:
+                continue
+            # Steps that failed leave the answer unchanged, so every
+            # update's streak accounting stays consistent.
+            for prev, cur in zip(updates, updates[1:]):
+                if cur.done:
+                    break
+                assert cur.stable_steps in (0, prev.stable_steps + 1)
+            return
+        pytest.fail("no query hit a lost partition")
+
+
+# ---------------------------------------------------------------------------
+# Calibration
+# ---------------------------------------------------------------------------
+
+class TestCalibration:
+    @pytest.fixture(scope="class")
+    def index(self):
+        return ClimberIndex.build(_dataset(), _config())
+
+    def test_curve_monotone_and_persisted(self, index, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cal") / "calibration.json"
+        cal = calibrate_early_stop(
+            index, _queries(20, seed=77), k=10, variant="od-smallest",
+            max_streak=6, path=path,
+        )
+        fracs = [frac for _, frac in cal.curve]
+        assert all(b >= a for a, b in zip(fracs, fracs[1:]))
+        assert all(0.0 <= f <= 1.0 for f in fracs)
+        assert cal.source == "calibrated"
+        assert cal.n_queries == 20
+        # JSON round-trip through the file
+        loaded = ProgressiveCalibration.load(path)
+        assert loaded == cal
+        data = json.loads(path.read_text())
+        assert data["schema"] == "repro.progressive-calibration/v1"
+
+    def test_attach_and_confidence_mode(self, index, tmp_path):
+        path = tmp_path / "calibration.json"
+        cal = calibrate_early_stop(
+            index, _queries(20, seed=77), k=10, variant="od-smallest",
+            max_streak=6, path=path,
+        )
+        index.attach_calibration(path)
+        assert index.calibration == cal
+        # The resolved streak comes from the measured curve.
+        rule = resolve_stop_rule("confidence:0.9", 0.9, index.calibration)
+        assert rule.streak == cal.threshold_for(0.9)
+        finals = [
+            list(index.knn_progressive(
+                q, 10, variant="od-smallest", early_stop="confidence:0.9"
+            ))[-1]
+            for q in _queries(16, seed=41)
+        ]
+        assert all(f.done for f in finals)
+        index.attach_calibration(None)
+        assert index.calibration is None
+
+    def test_unachievable_confidence_disables_stopping(self):
+        cal = ProgressiveCalibration(curve=((1, 0.2), (2, 0.4)))
+        assert cal.threshold_for(0.99) == 3  # max_streak + 1
+
+    def test_prior_thresholds(self):
+        prior = ProgressiveCalibration.prior()
+        assert prior.threshold_for(0.9) == 4
+        assert prior.threshold_for(0.99) == 7
+
+    def test_calibration_validates(self):
+        with pytest.raises(ConfigurationError):
+            ProgressiveCalibration(curve=())
+        with pytest.raises(ConfigurationError):
+            ProgressiveCalibration(curve=((2, 0.5), (1, 0.7)))
+        with pytest.raises(ConfigurationError):
+            ProgressiveCalibration(curve=((1, 1.5),))
+        with pytest.raises(ConfigurationError):
+            calibrate_early_stop(object(), np.empty((0, 8)), k=5)
+
+    def test_schema_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ProgressiveCalibration.from_json(
+                json.dumps({"schema": "bogus/v9", "curve": [[1, 0.5]]})
+            )
+
+
+# ---------------------------------------------------------------------------
+# Explain + telemetry integration
+# ---------------------------------------------------------------------------
+
+class TestProgressiveObservability:
+    @pytest.fixture(scope="class")
+    def index(self):
+        return ClimberIndex.build(_dataset(), _config(telemetry=True))
+
+    def test_explain_progressive_entry(self, index):
+        entry = index.explain_query(
+            _queries(1)[0], 5, variant="od-smallest", early_stop="streak:2"
+        )
+        assert entry["mode"] == "knn_progressive"
+        prog = entry["progressive"]
+        assert prog["partitions_planned"] >= prog["partitions_visited"] >= 1
+        assert len(prog["steps"]) == prog["partitions_visited"]
+        assert prog["stopped_early"] == (
+            prog["partitions_visited"] < prog["partitions_planned"]
+        )
+        assert len(prog["partitions_forgone"]) == (
+            prog["partitions_planned"] - prog["partitions_visited"]
+        )
+        json.dumps(entry)
+
+    def test_explain_batch_progressive_totals(self, index):
+        out = index.explain_query(_queries(4), 5, progressive=True)
+        assert out["mode"] == "knn_batch_progressive"
+        assert out["batch_size"] == 4
+        assert out["shared_stages"] == []
+        for entry in out["queries"]:
+            assert "progressive" in entry
+        totals = out["totals"]
+        assert totals["coverage"] == 1.0
+        assert totals["partitions_probed"] == sum(
+            e["partitions_probed"] for e in out["queries"]
+        )
+        json.dumps(out)
+
+    def test_progressive_counters_recorded(self, index):
+        index.reset_stats()
+        finals = [
+            list(index.knn_progressive(
+                q, 10, variant="od-smallest", early_stop="streak:1"
+            ))[-1]
+            for q in _queries(16, seed=41)
+        ]
+        counters = index.stats()["metrics"]["counters"]
+        assert counters["query.progressive.count"] == 16
+        assert counters["query.progressive.partitions_visited"] == sum(
+            f.partitions_visited for f in finals
+        )
+        expected_stops = sum(f.stopped_early for f in finals)
+        assert expected_stops > 0
+        assert counters["query.progressive.early_stops"] == expected_stops
+        assert counters["query.progressive.partitions_forgone"] == sum(
+            len(f.partitions_forgone) for f in finals
+        )
+        # The shared query.* surface records progressive queries too.
+        assert counters["query.count"] == 16
+
+
+# ---------------------------------------------------------------------------
+# Validation edges
+# ---------------------------------------------------------------------------
+
+class TestValidation:
+    @pytest.fixture(scope="class")
+    def index(self):
+        return ClimberIndex.build(_dataset(), _config())
+
+    def test_bad_args_raise_eagerly(self, index):
+        q = _queries(1)[0]
+        with pytest.raises(ConfigurationError):
+            index.knn_progressive(q, 0)
+        with pytest.raises(ConfigurationError):
+            index.knn_progressive(q, 5, variant="nope")
+        with pytest.raises(ConfigurationError):
+            index.knn_progressive(q, 5, early_stop="bogus")
+        with pytest.raises(ConfigurationError):
+            index.knn_progressive(q, 5, early_stop="confidence",
+                                  confidence=1.5)
+
+    def test_empty_batch(self, index):
+        assert index.knn_batch_progressive(
+            np.empty((0, 32)), 5, early_stop="off"
+        ) == []
+
+    def test_query_stats_zero_wanted_coverage(self):
+        """Satellite regression: empty wanted set -> coverage 1.0, not a
+        ZeroDivisionError."""
+        stats = QueryStats(
+            variant="knn", k=3, best_od=0, group_ids=(), path_len=0,
+            gn_size=0.0, n_selected_nodes=0, partitions_loaded=(),
+            data_bytes=0, records_examined=0,
+            expanded_within_partition=False, sim_seconds=0.0,
+            wall_seconds=0.0,
+        )
+        assert stats.coverage == 1.0
+        assert stats.visit_coverage == 1.0
+        assert not stats.degraded
+
+    def test_visit_coverage_counts_forgone(self):
+        stats = QueryStats(
+            variant="knn", k=3, best_od=0, group_ids=(), path_len=0,
+            gn_size=0.0, n_selected_nodes=1,
+            partitions_loaded=("p0", "p1"), data_bytes=1,
+            records_examined=1, expanded_within_partition=False,
+            sim_seconds=0.0, wall_seconds=0.0,
+            partitions_forgone=("p2", "p3"),
+        )
+        assert stats.coverage == 1.0
+        assert stats.visit_coverage == 0.5
+
+    def test_explain_totals_zero_wanted_guard(self):
+        """The aggregate coverage guards its denominator."""
+        entries = [{
+            "partitions_probed": 0, "partitions": [], "bytes_read": 0,
+            "records_examined": 0, "cache": {"hits": 0, "misses": 0},
+            "wall_seconds": 0.0, "degraded": False, "partitions_failed": [],
+        }]
+        totals = ClimberIndex._explain_totals(entries)
+        assert totals["coverage"] == 1.0

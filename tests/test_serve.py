@@ -20,7 +20,11 @@ import numpy as np
 import pytest
 
 from repro.core import ClimberIndex
-from repro.core.config import ON_PARTITION_FAILURE_ENV, ClimberConfig
+from repro.core.config import (
+    EARLY_STOP_ENV,
+    ON_PARTITION_FAILURE_ENV,
+    ClimberConfig,
+)
 from repro.exceptions import (
     ConfigurationError,
     ServiceClosedError,
@@ -40,12 +44,12 @@ from repro.serve import QueryResponse, QueryService, ServeConfig
 from repro.series import SeriesDataset
 
 #: Parity oracles compare explicit builds, so ambient CI chaos
-#: (CLIMBER_FAULT_* exported over the whole tier-1 run) is scrubbed, as
-#: in tests/test_chaos.py.
+#: (CLIMBER_FAULT_* exported over the whole tier-1 run) and the CI-armed
+#: CLIMBER_EARLY_STOP are scrubbed, as in tests/test_chaos.py.
 CHAOS_ENV = (
     FAULT_ENV_SEED, FAULT_ENV_RATE, FAULT_ENV_LOSS_RATE,
     FAULT_ENV_BITFLIP_RATE, FAULT_ENV_STRAGGLER_RATE,
-    ON_PARTITION_FAILURE_ENV,
+    ON_PARTITION_FAILURE_ENV, EARLY_STOP_ENV,
 )
 
 
@@ -412,3 +416,211 @@ class TestServingUnderChaos:
         # Storage-level accounting is in lockstep too: same lost blobs,
         # same skips, same logical charges.
         assert _dfs_counter_state(served) == _dfs_counter_state(oracle)
+
+
+class TestSubmitStopRace:
+    """Satellite 3: ``submit()`` racing ``stop()`` must fail fast.
+
+    A block-mode submitter parked on the space event can be woken by
+    ``stop()`` with the queue below its limit; before the fix it would
+    exit the admission loop, enqueue behind the shutdown sentinel, and
+    await a future the batcher never dispatches — a silent hang.  Every
+    interleaving must now resolve to either a served answer or
+    :class:`~repro.exceptions.ServiceClosedError`.
+    """
+
+    @pytest.fixture(scope="class")
+    def index(self):
+        return ClimberIndex.build(_dataset(), _config())
+
+    def test_blocked_submitter_fails_instead_of_hanging(self, index):
+        queries = _queries(2)
+
+        async def drive():
+            service = QueryService(
+                index,
+                ServeConfig(queue_limit=1, admission="block",
+                            max_batch=1, max_delay_s=0.01),
+                registry=MetricsRegistry(),
+            )
+            await service.start()
+            # Interleaving forced without sleeps: submit A fills the
+            # queue, submit B parks on the space event, stop() wakes it
+            # with running already False.
+            a = asyncio.ensure_future(service.submit(queries[0], k=5))
+            b = asyncio.ensure_future(service.submit(queries[1], k=5))
+            stopper = asyncio.ensure_future(service.stop(drain=True))
+            results = await asyncio.gather(a, b, stopper,
+                                           return_exceptions=True)
+            return results[:2]
+
+        # A hang is the regression: convert it into a loud failure.
+        res_a, res_b = asyncio.run(asyncio.wait_for(drive(), timeout=30))
+        outcomes = {type(r).__name__ for r in (res_a, res_b)}
+        assert outcomes <= {"QueryResponse", "ServiceClosedError"}
+        # The admitted request is drained; the blocked one is refused.
+        assert isinstance(res_a, QueryResponse)
+        assert isinstance(res_b, ServiceClosedError)
+
+    def test_blocked_submitter_reject_after_undrained_stop(self, index):
+        queries = _queries(2)
+
+        async def drive():
+            service = QueryService(
+                index,
+                ServeConfig(queue_limit=1, admission="block",
+                            max_batch=1, max_delay_s=0.01),
+                registry=MetricsRegistry(),
+            )
+            await service.start()
+            a = asyncio.ensure_future(service.submit(queries[0], k=5))
+            b = asyncio.ensure_future(service.submit(queries[1], k=5))
+            stopper = asyncio.ensure_future(service.stop(drain=False))
+            return await asyncio.gather(a, b, stopper,
+                                        return_exceptions=True)
+
+        res_a, res_b, _ = asyncio.run(
+            asyncio.wait_for(drive(), timeout=30)
+        )
+        assert isinstance(res_a, ServiceClosedError)
+        assert isinstance(res_b, ServiceClosedError)
+
+    def test_request_behind_sentinel_is_swept(self, index):
+        """A request that loses the race entirely — enqueued after the
+        shutdown sentinel — is failed by stop()'s post-batcher sweep, not
+        left hanging on a never-dispatched future."""
+        from repro.serve.service import _Request
+
+        async def drive():
+            service = QueryService(index, registry=MetricsRegistry())
+            await service.start()
+            queue = service._queue
+            loop = asyncio.get_running_loop()
+            stopper = asyncio.ensure_future(service.stop(drain=True))
+            await asyncio.sleep(0)  # stop() is now parked on the batcher
+            future = loop.create_future()
+            queue.put_nowait(_Request(
+                np.asarray(_queries(1)[0]), (5, "adaptive", None, None,
+                                             None, None),
+                future, 0.0,
+            ))
+            await stopper
+            with pytest.raises(ServiceClosedError):
+                await future
+
+        asyncio.run(asyncio.wait_for(drive(), timeout=30))
+
+    def test_submit_storm_during_stop_never_hangs(self, index):
+        """Many submitters racing one stop(): every future resolves."""
+        queries = _queries(12)
+
+        async def drive():
+            service = QueryService(
+                index,
+                ServeConfig(queue_limit=2, admission="block",
+                            max_batch=2, max_delay_s=0.01),
+                registry=MetricsRegistry(),
+            )
+            await service.start()
+            tasks = [
+                asyncio.ensure_future(service.submit(q, k=5))
+                for q in queries
+            ]
+            await asyncio.sleep(0)
+            stopper = asyncio.ensure_future(service.stop(drain=True))
+            results = await asyncio.gather(*tasks, stopper,
+                                           return_exceptions=True)
+            return results[:-1]
+
+        results = asyncio.run(asyncio.wait_for(drive(), timeout=60))
+        assert len(results) == len(queries)
+        for r in results:
+            assert isinstance(r, (QueryResponse, ServiceClosedError))
+
+
+class TestProgressiveServing:
+    """``submit(..., early_stop=...)`` routes onto the progressive path."""
+
+    @pytest.fixture(scope="class")
+    def pair(self):
+        dataset = _dataset()
+        served = ClimberIndex.build(dataset, _config())
+        oracle = ClimberIndex.build(dataset, _config())
+        return served, oracle
+
+    def _serve(self, index, queries, **submit_kwargs):
+        async def drive():
+            service = QueryService(
+                index,
+                ServeConfig(max_batch=8, max_delay_s=0.05,
+                            worker_threads=1),
+                registry=MetricsRegistry(),
+            )
+            async with service:
+                responses = await asyncio.gather(*[
+                    service.submit(q, k=5, **submit_kwargs)
+                    for q in queries
+                ])
+            return responses, service.stats()
+
+        return asyncio.run(drive())
+
+    def test_early_stop_off_matches_plain_submit(self, pair):
+        served, oracle = pair
+        queries = _queries(12)
+        responses, _ = self._serve(
+            served, queries, variant="od-smallest", early_stop="off"
+        )
+        references = [
+            oracle.knn(q, k=5, variant="od-smallest") for q in queries
+        ]
+        for resp, ref in zip(responses, references):
+            _assert_response_matches(resp, ref)
+            assert not resp.stopped_early
+            assert resp.visit_coverage == 1.0
+
+    def test_early_stop_serves_partial_coverage_honestly(self, pair):
+        served, _ = pair
+        queries = _queries(16, seed=41)
+        responses, stats = self._serve(
+            served, queries, variant="od-smallest", early_stop="streak:1"
+        )
+        stopped = [r for r in responses if r.stopped_early]
+        assert stopped, "streak:1 fired on no served query"
+        for resp in stopped:
+            assert resp.stats.partitions_forgone
+            assert resp.visit_coverage < 1.0
+            assert resp.coverage == 1.0  # forgone is not failure
+            assert resp.ids.shape[0] == 5
+        counters = stats["metrics"]["counters"]
+        assert counters["serve.early_stopped"] == len(stopped)
+        assert counters["serve.partitions_forgone"] == sum(
+            len(r.stats.partitions_forgone) for r in stopped
+        )
+        assert counters["serve.responses"] == len(queries)
+
+    def test_k_exceeding_records_served(self):
+        rng = np.random.default_rng(3)
+        small = SeriesDataset(rng.standard_normal((12, 32)))
+        index = ClimberIndex.build(small, _config(
+            n_pivots=8, prefix_length=3, capacity=8, sample_fraction=1.0,
+            n_input_partitions=1,
+        ))
+
+        async def drive():
+            service = QueryService(index, registry=MetricsRegistry())
+            async with service:
+                plain = await service.submit(small.values[0], k=50)
+                progressive = await service.submit(
+                    small.values[0], k=50, early_stop="streak:1"
+                )
+            return plain, progressive
+
+        plain, progressive = asyncio.run(drive())
+        for resp in (plain, progressive):
+            assert resp.ids.shape[0] <= 12
+            assert resp.ids.shape[0] == resp.distances.shape[0]
+            assert resp.coverage == 1.0
+        assert not progressive.stopped_early  # never before k in hand
+        assert np.array_equal(plain.ids, progressive.ids)
+        assert np.array_equal(plain.distances, progressive.distances)
